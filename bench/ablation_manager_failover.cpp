@@ -1,0 +1,136 @@
+// Ablation A6: what is the manager's heartbeat-restart protocol worth?
+//
+// §4.1: "If the audit process fails, the manager restarts it." This bench
+// injects audit-process crashes (a saboteur kills the audit process every
+// K seconds) on top of the Table-3 database-error workload and compares
+// three deployments:
+//   * no manager       — the first audit crash is permanent,
+//   * manager          — heartbeat timeout detects the death, restart
+//                        closes the unprotected window,
+//   * no crashes       — the undisturbed baseline.
+//
+// Flags: --runs=N (default 8), --killevery=S (default 120)
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "inject/oracle.hpp"
+#include "manager/manager.hpp"
+#include "sim/cpu.hpp"
+
+using namespace wtc;
+
+namespace {
+
+struct FailoverResult {
+  inject::OracleSummary oracle;
+  std::uint32_t restarts = 0;
+};
+
+FailoverResult run_one(bool with_manager, sim::Duration kill_every,
+                       std::uint64_t seed) {
+  sim::Scheduler scheduler;
+  sim::Node node(scheduler);
+  sim::Cpu cpu;
+  common::Rng rng(seed);
+
+  auto params = bench::table2_params();
+  auto db = db::make_controller_database(params.schema);
+  const auto ids = db::resolve_controller_ids(db->schema());
+  inject::CorruptionOracle oracle(*db, [&]() { return scheduler.now(); });
+  db->set_observer(&oracle);
+  callproc::ClientDirectory directory(node, *db);
+
+  sim::ProcessId audit_pid = sim::kNoProcess;
+  const auto spawn_audit = [&]() {
+    auto process = std::make_shared<audit::AuditProcess>(*db, cpu, params.audit,
+                                                         &oracle, &directory);
+    audit_pid = node.spawn("audit", process);
+    return audit_pid;
+  };
+
+  std::shared_ptr<manager::Manager> mgr;
+  if (with_manager) {
+    mgr = std::make_shared<manager::Manager>(spawn_audit);
+    node.spawn("manager", mgr);
+  } else {
+    spawn_audit();
+  }
+
+  audit::IpcNotificationSink sink(node, [&]() { return audit_pid; });
+  auto client = std::make_shared<callproc::NativeCallClient>(
+      *db, ids, cpu, rng.fork(1), params.client, &sink);
+  const auto client_pid = node.spawn("client", client);
+  directory.register_client(client_pid, client.get());
+
+  auto injector = std::make_shared<inject::DbErrorInjector>(*db, oracle,
+                                                            rng.fork(2),
+                                                            params.injector);
+  node.spawn("injector", injector);
+
+  // The saboteur: periodic audit-process crashes. (Self-scheduling
+  // callback owned by a shared_ptr so it outlives this scope.)
+  if (kill_every > 0) {
+    auto kill = std::make_shared<std::function<void()>>();
+    *kill = [&node, &scheduler, &audit_pid, kill_every, kill]() {
+      if (node.alive(audit_pid)) {
+        node.kill(audit_pid);
+      }
+      scheduler.schedule_after(static_cast<sim::Time>(kill_every), *kill);
+    };
+    scheduler.schedule_after(static_cast<sim::Time>(kill_every), *kill);
+  }
+
+  scheduler.run_until(static_cast<sim::Time>(params.duration));
+  return {oracle.summary(), mgr ? mgr->restarts() : 0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t runs = bench::flag(argc, argv, "runs", 8);
+  const auto kill_every = static_cast<sim::Duration>(
+      bench::flag(argc, argv, "killevery", 120) * sim::kSecond);
+
+  struct Row {
+    const char* name;
+    bool manager;
+    sim::Duration kill_every;
+  };
+  const Row rows[] = {
+      {"No audit crashes (baseline)", true, 0},
+      {"Audit crashes, NO manager", false, kill_every},
+      {"Audit crashes, manager restarts", true, kill_every},
+  };
+
+  common::TablePrinter table({"Deployment", "Caught %", "Escaped %", "Latent %",
+                              "Restarts"});
+  for (const auto& row : rows) {
+    std::size_t injected = 0, caught = 0, escaped = 0, latent = 0;
+    std::uint32_t restarts = 0;
+    for (std::size_t i = 0; i < runs; ++i) {
+      const auto result = run_one(row.manager, row.kill_every, 0xFA170 + i * 31);
+      injected += result.oracle.injected;
+      caught += result.oracle.caught;
+      escaped += result.oracle.escaped;
+      latent += result.oracle.latent;
+      restarts += result.restarts;
+    }
+    table.add_row({row.name,
+                   common::fmt(common::percent(caught, injected), 1) + "%",
+                   common::fmt(common::percent(escaped, injected), 1) + "%",
+                   common::fmt(common::percent(latent, injected), 1) + "%",
+                   std::to_string(restarts / runs)});
+  }
+  std::printf("=== Ablation A6: manager heartbeat failover (audit killed every "
+              "%llu s, %zu runs per row) ===\n\n%s\n",
+              static_cast<unsigned long long>(
+                  kill_every / static_cast<sim::Duration>(sim::kSecond)),
+              runs,
+              table.render().c_str());
+  std::printf("Expected: without the manager the audit dies for good and the "
+              "caught rate collapses toward zero (latent/escaped errors pile "
+              "up); with heartbeat restarts the coverage loss is only the "
+              "detection-window gaps.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Ablation A5: robust doubly-linked structures (paper footnote 3).
+//
+// The production controller kept singly-linked logical groups and recovered
+// structural damage by repair-from-offsets or full reload; footnote 3 notes
+// that doubly-linked robust structures [SET85] would allow single pointer
+// corruptions to be detected AND corrected in place, at the price of extra
+// redundancy and locking. This bench quantifies that trade on the
+// implemented RobustList: correction coverage versus corruption
+// multiplicity, the rate of silent wrong repairs, and the audit's real
+// cost per element.
+//
+// Flags: --trials=N (default 2000)
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table_printer.hpp"
+#include "db/robust_list.hpp"
+
+using namespace wtc;
+
+namespace {
+
+struct TrialStats {
+  std::size_t corrected = 0;       ///< membership fully restored
+  std::size_t flagged = 0;         ///< detected but not corrected
+  std::size_t wrong_repair = 0;    ///< claimed valid, but membership changed
+  std::size_t silent = 0;          ///< claimed clean while damaged
+  double audit_ns = 0.0;
+};
+
+TrialStats run_trials(std::uint32_t flips, std::size_t trials, std::uint64_t seed) {
+  TrialStats stats;
+  common::Rng rng(seed);
+  constexpr std::uint32_t kCapacity = 64;
+  double total_ns = 0.0;
+
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    std::vector<std::byte> storage(db::RobustList::storage_bytes(kCapacity));
+    db::RobustList list(storage, kCapacity);
+    list.format();
+    std::vector<std::uint32_t> members;
+    for (std::uint32_t slot = 0; slot < kCapacity; ++slot) {
+      if (rng.chance(0.5)) {
+        list.push_back(slot);
+        members.push_back(slot);
+      }
+    }
+
+    for (std::uint32_t i = 0; i < flips; ++i) {
+      const std::size_t offset = rng.uniform(storage.size());
+      storage[offset] ^= static_cast<std::byte>(1u << rng.uniform(8));
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = list.audit();
+    const auto end = std::chrono::steady_clock::now();
+    total_ns += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+
+    if (!result.structure_valid) {
+      ++stats.flagged;
+    } else if (list.forward_chain() == members) {
+      if (result.errors_detected == 0 && flips > 0) {
+        ++stats.silent;  // flips cancelled or hit dead bytes: benign
+      } else {
+        ++stats.corrected;
+      }
+    } else {
+      ++stats.wrong_repair;
+    }
+  }
+  stats.audit_ns = total_ns / static_cast<double>(trials);
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t trials = bench::flag(argc, argv, "trials", 2000);
+
+  common::TablePrinter table({"Bit flips", "Corrected", "Detected only",
+                              "Wrong repair", "Benign", "Audit ns/list"});
+  for (const std::uint32_t flips : {1u, 2u, 3u, 4u, 8u}) {
+    const auto stats = run_trials(flips, trials, 0x0B057 + flips);
+    table.add_row({std::to_string(flips),
+                   common::fmt(common::percent(stats.corrected, trials), 1) + "%",
+                   common::fmt(common::percent(stats.flagged, trials), 1) + "%",
+                   common::fmt(common::percent(stats.wrong_repair, trials), 1) + "%",
+                   common::fmt(common::percent(stats.silent, trials), 1) + "%",
+                   common::fmt(stats.audit_ns, 0)});
+  }
+  std::printf("=== Ablation A5: robust doubly-linked structures, %zu trials "
+              "per row (footnote 3) ===\n\n%s\n",
+              trials, table.render().c_str());
+  std::printf(
+      "Expected: single corruptions are corrected essentially always (the "
+      "footnote's claim); multi-error damage degrades to detect-only, with "
+      "a small wrong-repair band where consistent multi-bit damage defeats "
+      "the 1-correctable redundancy.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Shared helpers for the per-table/figure benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "callproc/native_client.hpp"
+#include "experiments/audit_runner.hpp"
+
+namespace wtc::bench {
+
+/// Parses `--name=value` style integer flags (e.g. --runs=30).
+inline std::size_t flag(int argc, char** argv, const char* name,
+                        std::size_t default_value) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return static_cast<std::size_t>(std::strtoull(argv[i] + prefix.size(),
+                                                    nullptr, 10));
+    }
+  }
+  return default_value;
+}
+
+/// The Table-2 experiment configuration. The controller tables are sized
+/// so the offered load (16 threads, 20-30 s calls, 10 s inter-arrival)
+/// produces production-like record occupancy.
+inline experiments::AuditRunParams table2_params() {
+  experiments::AuditRunParams params;
+  params.duration = 2000 * static_cast<sim::Duration>(sim::kSecond);
+  params.client.threads = 16;
+  params.client.call_duration_min = 20 * static_cast<sim::Duration>(sim::kSecond);
+  params.client.call_duration_max = 30 * static_cast<sim::Duration>(sim::kSecond);
+  params.client.inter_arrival_mean = 10 * static_cast<sim::Duration>(sim::kSecond);
+  params.client.phase_work = 40 * static_cast<sim::Duration>(sim::kMillisecond);
+  params.injector.inter_arrival = 20 * static_cast<sim::Duration>(sim::kSecond);
+  params.injector.arrival = inject::ArrivalModel::Fixed;
+  params.audit.period = 10 * static_cast<sim::Duration>(sim::kSecond);
+  // The production controller's database is mostly live data: with ~11
+  // concurrent calls, these table sizes give the same high occupancy, and
+  // the audit cost scale recreates its per-pass CPU load (the source of
+  // Table 3's call-setup overhead).
+  params.schema.process_records = 16;
+  params.schema.connection_records = 16;
+  params.schema.resource_records = 20;
+  params.schema.config_records = 8;
+  params.schema.subscriber_records = 16;
+  params.audit.engine.cost_scale = 80.0;
+  // The paper's client (Figure 8) reads its records back at teardown; it
+  // has no mid-call supervision polling.
+  params.client.supervision_period = 0;
+  params.seed = 20010701;  // DSN 2001
+  return params;
+}
+
+/// Parses `--name=value` string flags (e.g. --csv=fig3.csv).
+inline std::string flag_str(int argc, char** argv, const char* name,
+                            const char* default_value = "") {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return default_value;
+}
+
+/// Writes rows (first row = header) as CSV for external plotting.
+inline void write_csv(const std::string& path,
+                      const std::vector<std::vector<std::string>>& rows) {
+  if (path.empty()) {
+    return;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::fprintf(file, "%s%s", row[i].c_str(), i + 1 < row.size() ? "," : "");
+    }
+    std::fprintf(file, "\n");
+  }
+  std::fclose(file);
+  std::printf("(series written to %s)\n", path.c_str());
+}
+
+}  // namespace wtc::bench

@@ -1,0 +1,72 @@
+// Shared renderer for the Table 8 / Table 9 campaign matrices.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/table_printer.hpp"
+#include "experiments/pecos_runner.hpp"
+
+namespace wtc::bench {
+
+/// Runs the four {±PECOS} x {±Audit} campaigns with paired error
+/// sequences and renders them in the paper's column layout.
+inline void run_and_print_campaign_table(const char* title,
+                                         inject::InjectTarget target,
+                                         std::size_t runs_per_model,
+                                         std::uint64_t seed) {
+  experiments::CampaignCounts results[4];
+  const char* column[4] = {"Without PECOS Without Audit",
+                           "Without PECOS With Audit",
+                           "With PECOS Without Audit",
+                           "With PECOS With Audit"};
+  for (int cfg = 0; cfg < 4; ++cfg) {
+    experiments::PecosRunParams params;
+    params.cfc = (cfg & 2) != 0 ? experiments::CfcMode::Pecos
+                                : experiments::CfcMode::None;
+    params.audit = (cfg & 1) != 0;
+    params.injector.target = target;
+    params.seed = seed;
+    results[cfg] = experiments::run_pecos_campaign(params, runs_per_model);
+  }
+
+  common::TablePrinter table({"Category", column[0], column[1], column[2],
+                              column[3]});
+  const auto row = [&](const char* name, inject::Outcome outcome,
+                       bool of_activated) {
+    std::vector<std::string> cells = {name};
+    for (const auto& campaign : results) {
+      const std::size_t denom =
+          of_activated ? campaign.activated() : campaign.runs;
+      cells.push_back(
+          common::format_count_or_percent(campaign.count(outcome), denom));
+    }
+    table.add_row(std::move(cells));
+  };
+  row("Errors Not Activated", inject::Outcome::NotActivated, false);
+  row("Errors Activated but Not Manifested", inject::Outcome::NotManifested, true);
+  row("PECOS Detection", inject::Outcome::PecosDetection, true);
+  row("Audit Detection", inject::Outcome::AuditDetection, true);
+  row("System Detection", inject::Outcome::SystemDetection, true);
+  row("Client Hang", inject::Outcome::ClientHang, true);
+  row("Fail-silence Violation", inject::Outcome::FailSilenceViolation, true);
+  {
+    std::vector<std::string> cells = {"Total Number of Injected Errors"};
+    for (const auto& campaign : results) {
+      cells.push_back(std::to_string(campaign.runs));
+    }
+    table.add_row(std::move(cells));
+  }
+  {
+    std::vector<std::string> cells = {"Coverage (100% - sysdet - FSV - hang)"};
+    for (const auto& campaign : results) {
+      cells.push_back(common::fmt(campaign.coverage_percent(), 0) + "%");
+    }
+    table.add_row(std::move(cells));
+  }
+
+  std::printf("%s\n\n%s\n", title, table.render().c_str());
+}
+
+}  // namespace wtc::bench

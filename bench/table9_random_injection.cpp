@@ -1,0 +1,23 @@
+// Reproduces Table 9: "Cumulative Results from Random Injection to the
+// Instruction Stream" — the same campaign matrix as Table 8, but the
+// injection target is any instruction of the client text segment (so most
+// errors are data errors rather than control flow errors).
+//
+// Flags: --runs=N per error model per configuration (default 50).
+#include "bench_util.hpp"
+#include "pecos_table_common.hpp"
+
+using namespace wtc;
+
+int main(int argc, char** argv) {
+  const std::size_t runs = bench::flag(argc, argv, "runs", 50);
+  bench::run_and_print_campaign_table(
+      "=== Table 9: random injection to the instruction stream ===",
+      inject::InjectTarget::Random, runs, 0xD5A92001);
+  std::printf(
+      "Paper shape: PECOS catches fewer errors than for directed CFI "
+      "injections (45-49%%), system detection falls 66%% -> 39-41%%, "
+      "fail-silence violations fall 5%% -> ~2%% with both mechanisms; "
+      "data-flow errors are the key reason for the remaining escapes.\n");
+  return 0;
+}

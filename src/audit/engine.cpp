@@ -1,0 +1,635 @@
+#include "audit/engine.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/crc32.hpp"
+#include "db/direct.hpp"
+
+namespace wtc::audit {
+
+namespace {
+
+std::string_view technique_name(Technique technique) noexcept {
+  switch (technique) {
+    case Technique::StaticChecksum: return "static-checksum";
+    case Technique::RangeCheck: return "range-check";
+    case Technique::StructuralCheck: return "structural-check";
+    case Technique::SemanticCheck: return "semantic-check";
+    case Technique::SelectiveMonitor: return "selective-monitor";
+    case Technique::ProgressIndicator: return "progress-indicator";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string_view to_string(Technique technique) noexcept {
+  return technique_name(technique);
+}
+
+std::string_view to_string(Recovery recovery) noexcept {
+  switch (recovery) {
+    case Recovery::None: return "none";
+    case Recovery::ReloadSpan: return "reload-span";
+    case Recovery::ReloadAll: return "reload-all";
+    case Recovery::RepairHeader: return "repair-header";
+    case Recovery::ResetField: return "reset-field";
+    case Recovery::FreeRecord: return "free-record";
+    case Recovery::TerminateClientThread: return "terminate-client-thread";
+    case Recovery::KillClientProcess: return "kill-client-process";
+  }
+  return "?";
+}
+
+AuditEngine::AuditEngine(db::Database& db, EngineConfig config,
+                         std::function<sim::Time()> clock)
+    : db_(db), config_(config), clock_(std::move(clock)) {
+  // Emulate the production database's audit CPU load on this smaller one.
+  const auto scale = [&](std::uint32_t cost) {
+    return static_cast<std::uint32_t>(static_cast<double>(cost) *
+                                      config_.cost_scale);
+  };
+  config_.cost_per_record_structural = scale(config_.cost_per_record_structural);
+  config_.cost_per_field_range = scale(config_.cost_per_field_range);
+  config_.cost_per_loop_semantic = scale(config_.cost_per_loop_semantic);
+  config_.cost_per_static_chunk = scale(config_.cost_per_static_chunk);
+  config_.cost_event_check = scale(config_.cost_event_check);
+  // Golden checksums: chunk every static span and CRC the pristine bytes.
+  for (const auto& [offset, length] : db_.static_spans()) {
+    for (std::size_t at = offset; at < offset + length;
+         at += config_.static_chunk_bytes) {
+      const std::size_t chunk_len =
+          std::min(config_.static_chunk_bytes, offset + length - at);
+      const auto bytes = db_.pristine().subspan(at, chunk_len);
+      static_chunks_.push_back({at, chunk_len, common::crc32(bytes)});
+    }
+  }
+}
+
+void AuditEngine::report(Finding finding) {
+  finding.time = clock_();
+  ++findings_;
+  if (finding.table != db::kNoTable &&
+      finding.table < db_.table_count()) {
+    auto& stats = db_.table_stats(finding.table);
+    ++stats.errors_detected_total;
+    ++stats.errors_last_cycle;
+  }
+  if (sink_ != nullptr) {
+    sink_->on_finding(finding);
+  }
+}
+
+bool AuditEngine::recently_written(db::TableId t, db::RecordIndex r) const {
+  const auto& meta = db_.record_meta(t, r);
+  const sim::Time now = clock_();
+  return meta.last_access != 0 &&
+         now - meta.last_access <
+             static_cast<sim::Time>(config_.recent_write_grace);
+}
+
+CheckResult AuditEngine::check_static() {
+  CheckResult result;
+  if (!config_.static_check) {
+    return result;
+  }
+  for (const auto& chunk : static_chunks_) {
+    result.cost += config_.cost_per_static_chunk;
+    const auto live = db_.region().subspan(chunk.offset, chunk.length);
+    if (common::crc32(live) == chunk.golden_crc) {
+      continue;
+    }
+    Finding finding;
+    finding.technique = Technique::StaticChecksum;
+    finding.recovery = Recovery::ReloadSpan;
+    finding.offset = chunk.offset;
+    finding.length = chunk.length;
+    if (const auto loc = db_.layout().locate(chunk.offset)) {
+      finding.table = loc->table;
+      finding.record = loc->record;
+    }
+    report(finding);
+    ++result.findings;
+    db_.reload_span_from_disk(chunk.offset, chunk.length);
+  }
+  return result;
+}
+
+CheckResult AuditEngine::check_one_header(db::TableId t, db::RecordIndex r,
+                                          std::uint32_t expected_next,
+                                          bool& corrupted) {
+  CheckResult result;
+  result.cost = config_.cost_per_record_structural;
+  const auto header = db::direct::read_header(db_, t, r);
+  const bool dynamic = db_.schema().tables[t].dynamic;
+
+  corrupted = false;
+  if (header.id_tag != db::expected_id_tag(t, r)) {
+    corrupted = true;
+  } else if (header.status != db::kStatusFree &&
+             header.status != db::kStatusActive) {
+    corrupted = true;
+  } else if (header.group >= db::kMaxGroups) {
+    corrupted = true;
+  } else if (dynamic && ((header.status == db::kStatusFree && header.group != 0) ||
+                         (header.status == db::kStatusActive && header.group == 0))) {
+    corrupted = true;
+  } else if (header.next != expected_next) {
+    corrupted = true;
+  }
+  return result;
+}
+
+CheckResult AuditEngine::check_structure(db::TableId t) {
+  CheckResult result;
+  if (!config_.structural_check || t >= db_.table_count()) {
+    return result;
+  }
+  if (db_.lock_info(t)) {
+    return result;  // client transaction in progress: result would be invalid
+  }
+  const auto& tl = db_.layout().table(t);
+
+  // Expected `next` links: each group's chain lists its records in index
+  // order. Computed from the stored group values ("offsets ... based on
+  // record sizes stored in system tables; all record sizes are fixed and
+  // known", §4.3.2).
+  std::vector<std::uint32_t> expected_next(tl.num_records, db::kNilLink);
+  std::array<std::uint32_t, db::kMaxGroups> last_in_group;
+  last_in_group.fill(db::kNilLink);
+  for (db::RecordIndex r = 0; r < tl.num_records; ++r) {
+    const auto header = db::direct::read_header(db_, t, r);
+    if (header.group < db::kMaxGroups) {
+      if (last_in_group[header.group] != db::kNilLink) {
+        expected_next[last_in_group[header.group]] = r;
+      }
+      last_in_group[header.group] = r;
+    }
+  }
+
+  std::vector<db::RecordIndex> bad;
+  std::uint32_t consecutive = 0;
+  for (db::RecordIndex r = 0; r < tl.num_records; ++r) {
+    bool corrupted = false;
+    result += check_one_header(t, r, expected_next[r], corrupted);
+    if (corrupted) {
+      bad.push_back(r);
+      if (++consecutive >= config_.consecutive_header_threshold) {
+        // Strong indication of misalignment: reload the whole database
+        // (§4.3.2). Dynamic state — all active calls — is lost.
+        Finding finding;
+        finding.technique = Technique::StructuralCheck;
+        finding.recovery = Recovery::ReloadAll;
+        finding.table = t;
+        finding.offset = 0;
+        finding.length = db_.region().size();
+        report(finding);
+        ++result.findings;
+        db_.reload_all_from_disk();
+        return result;
+      }
+    } else {
+      consecutive = 0;
+    }
+  }
+
+  for (const db::RecordIndex r : bad) {
+    Finding finding;
+    finding.technique = Technique::StructuralCheck;
+    finding.recovery = Recovery::RepairHeader;
+    finding.table = t;
+    finding.record = r;
+    finding.offset = db_.layout().record_offset(t, r);
+    finding.length = db::kRecordHeaderSize;
+    report(finding);
+    ++result.findings;
+    db::direct::repair_header(db_, t, r);
+  }
+  return result;
+}
+
+CheckResult AuditEngine::check_ranges(db::TableId t) {
+  CheckResult result;
+  if (!config_.range_check || t >= db_.table_count()) {
+    return result;
+  }
+  const auto& spec = db_.schema().tables[t];
+  if (!spec.dynamic || db_.lock_info(t)) {
+    return result;
+  }
+  for (db::RecordIndex r = 0; r < spec.num_records; ++r) {
+    const auto header = db::direct::read_header(db_, t, r);
+    if (recently_written(t, r)) {
+      continue;
+    }
+    if (header.status == db::kStatusFree) {
+      // Free records must hold exactly their catalog defaults (the API
+      // scrubs them on free) — the strongest possible rule, so the audit
+      // sweep removes latent errors in unused data ("the entire database
+      // is checked for errors periodically", §5.1).
+      for (db::FieldId f = 0; f < spec.fields.size(); ++f) {
+        result.cost += config_.cost_per_field_range;
+        const std::int32_t value = db::direct::read_field(db_, t, r, f);
+        if (value == spec.fields[f].default_value) {
+          continue;
+        }
+        Finding finding;
+        finding.technique = Technique::RangeCheck;
+        finding.recovery = Recovery::ResetField;
+        finding.table = t;
+        finding.record = r;
+        finding.field = f;
+        finding.offset = db_.layout().field_offset(t, r, f);
+        finding.length = 4;
+        report(finding);
+        ++result.findings;
+        db::direct::write_field(db_, t, r, f, spec.fields[f].default_value);
+      }
+      continue;
+    }
+    if (header.status != db::kStatusActive) {
+      continue;  // corrupted status: the structural audit owns this
+    }
+    for (db::FieldId f = 0; f < spec.fields.size(); ++f) {
+      const auto& field = spec.fields[f];
+      if (!field.has_range()) {
+        continue;
+      }
+      result.cost += config_.cost_per_field_range;
+      const std::int32_t value = db::direct::read_field(db_, t, r, f);
+      if (value >= *field.range_min && value <= *field.range_max) {
+        continue;
+      }
+      Finding finding;
+      finding.technique = Technique::RangeCheck;
+      finding.table = t;
+      finding.record = r;
+      finding.field = f;
+      finding.offset = db_.layout().field_offset(t, r, f);
+      finding.length = 4;
+      ++result.findings;
+      // Recovery: reset to the catalog default; in a dynamic table, also
+      // free the record preemptively to stop propagation (§4.3.1).
+      db::direct::write_field(db_, t, r, f, field.default_value);
+      if (config_.free_dynamic_on_range_error) {
+        finding.recovery = Recovery::FreeRecord;
+        report(finding);
+        db::direct::free_record(db_, t, r);
+        break;  // record is gone; stop scanning its fields
+      }
+      finding.recovery = Recovery::ResetField;
+      report(finding);
+    }
+  }
+  return result;
+}
+
+bool AuditEngine::loop_intact(
+    db::TableId t, db::RecordIndex r,
+    std::vector<std::pair<db::TableId, db::RecordIndex>>& chain) const {
+  chain.clear();
+  chain.emplace_back(t, r);
+  db::TableId cur_t = t;
+  db::RecordIndex cur_r = r;
+  constexpr int kMaxHops = 8;
+  for (int hop = 0; hop < kMaxHops; ++hop) {
+    const auto& spec = db_.schema().tables[cur_t];
+    const auto fk = std::find_if(spec.fields.begin(), spec.fields.end(),
+                                 [](const db::FieldSpec& field) {
+                                   return field.role == db::FieldRole::ForeignKey;
+                                 });
+    if (fk == spec.fields.end()) {
+      return true;  // chain ends without a loop: nothing to verify
+    }
+    const auto fk_index = static_cast<db::FieldId>(fk - spec.fields.begin());
+    const std::int32_t key = db::direct::read_field(db_, cur_t, cur_r, fk_index);
+    if (key <= 0) {
+      return false;  // unset/invalid reference
+    }
+    const db::TableId next_t = fk->ref_table;
+    const auto next_r = static_cast<db::RecordIndex>(key - 1);
+    if (next_t >= db_.table_count() ||
+        next_r >= db_.schema().tables[next_t].num_records) {
+      return false;
+    }
+    const auto header = db::direct::read_header(db_, next_t, next_r);
+    if (header.status != db::kStatusActive) {
+      return false;  // "lost" record: reference to a freed slot
+    }
+    // Primary key must match the reference (§4.3.3's correspondence).
+    const auto& next_spec = db_.schema().tables[next_t];
+    const auto pk = std::find_if(next_spec.fields.begin(), next_spec.fields.end(),
+                                 [](const db::FieldSpec& field) {
+                                   return field.role == db::FieldRole::PrimaryKey;
+                                 });
+    if (pk != next_spec.fields.end()) {
+      const auto pk_index = static_cast<db::FieldId>(pk - next_spec.fields.begin());
+      if (db::direct::read_field(db_, next_t, next_r, pk_index) != key) {
+        return false;
+      }
+    }
+    if (next_t == t && next_r == r) {
+      return true;  // loop closed back to the anchor: 1-detectable and intact
+    }
+    for (const auto& [seen_t, seen_r] : chain) {
+      if (seen_t == next_t && seen_r == next_r) {
+        return false;  // closed onto the wrong record
+      }
+    }
+    chain.emplace_back(next_t, next_r);
+    cur_t = next_t;
+    cur_r = next_r;
+  }
+  return false;
+}
+
+void AuditEngine::free_and_terminate(db::TableId t, db::RecordIndex r,
+                                     Technique technique) {
+  const auto meta = db_.record_meta(t, r);
+  Finding finding;
+  finding.technique = technique;
+  finding.recovery = Recovery::FreeRecord;
+  finding.table = t;
+  finding.record = r;
+  finding.offset = db_.layout().record_offset(t, r);
+  finding.length = db_.layout().table(t).record_size;
+  report(finding);
+  db::direct::free_record(db_, t, r);
+  if (control_ != nullptr && meta.last_writer != sim::kNoProcess) {
+    Finding termination = finding;
+    termination.recovery = Recovery::TerminateClientThread;
+    report(termination);
+    control_->terminate_client_thread(meta.last_writer, meta.last_writer_thread);
+  }
+}
+
+CheckResult AuditEngine::check_semantics() {
+  CheckResult result;
+  if (!config_.semantic_check) {
+    return result;
+  }
+  std::vector<std::pair<db::TableId, db::RecordIndex>> chain;
+
+  // Anchored loop checks: every active record of every dynamic table that
+  // participates in a semantic relationship.
+  for (db::TableId t = 0; t < db_.table_count(); ++t) {
+    const auto& spec = db_.schema().tables[t];
+    const bool has_fk =
+        std::any_of(spec.fields.begin(), spec.fields.end(),
+                    [](const db::FieldSpec& field) {
+                      return field.role == db::FieldRole::ForeignKey;
+                    });
+    if (!spec.dynamic || !has_fk || db_.lock_info(t)) {
+      continue;
+    }
+    for (db::RecordIndex r = 0; r < spec.num_records; ++r) {
+      const auto header = db::direct::read_header(db_, t, r);
+      if (header.status != db::kStatusActive || recently_written(t, r)) {
+        continue;
+      }
+      result.cost += config_.cost_per_loop_semantic;
+      if (loop_intact(t, r, chain)) {
+        continue;
+      }
+      // A chain member may be mid-transaction: skip rather than misfire.
+      const bool any_recent = std::any_of(
+          chain.begin(), chain.end(), [this](const auto& link) {
+            return recently_written(link.first, link.second);
+          });
+      if (any_recent) {
+        continue;
+      }
+      ++result.findings;
+      // Recovery: free the zombie chain and terminate the owning thread —
+      // keeps records available at the cost of dropping one call (§4.3.3).
+      free_and_terminate(t, r, Technique::SemanticCheck);
+      for (std::size_t i = 1; i < chain.size(); ++i) {
+        Finding finding;
+        finding.technique = Technique::SemanticCheck;
+        finding.recovery = Recovery::FreeRecord;
+        finding.table = chain[i].first;
+        finding.record = chain[i].second;
+        finding.offset =
+            db_.layout().record_offset(chain[i].first, chain[i].second);
+        finding.length = db_.layout().table(chain[i].first).record_size;
+        report(finding);
+        db::direct::free_record(db_, chain[i].first, chain[i].second);
+      }
+    }
+  }
+
+  // Orphan ("resource leak") sweep: active records no longer referenced by
+  // any semantic relationship are zombies holding limited resources.
+  for (db::TableId t = 0; t < db_.table_count(); ++t) {
+    const auto& spec = db_.schema().tables[t];
+    const bool has_pk =
+        std::any_of(spec.fields.begin(), spec.fields.end(),
+                    [](const db::FieldSpec& field) {
+                      return field.role == db::FieldRole::PrimaryKey;
+                    });
+    bool referenced_by_schema = false;
+    for (db::TableId u = 0; u < db_.table_count(); ++u) {
+      for (const auto& field : db_.schema().tables[u].fields) {
+        if (field.role == db::FieldRole::ForeignKey && field.ref_table == t) {
+          referenced_by_schema = true;
+        }
+      }
+    }
+    if (!spec.dynamic || !has_pk || !referenced_by_schema || db_.lock_info(t)) {
+      continue;
+    }
+
+    std::vector<bool> referenced(spec.num_records, false);
+    for (db::TableId u = 0; u < db_.table_count(); ++u) {
+      const auto& uspec = db_.schema().tables[u];
+      if (!uspec.dynamic) {
+        continue;
+      }
+      for (db::FieldId f = 0; f < uspec.fields.size(); ++f) {
+        if (uspec.fields[f].role != db::FieldRole::ForeignKey ||
+            uspec.fields[f].ref_table != t) {
+          continue;
+        }
+        for (db::RecordIndex r = 0; r < uspec.num_records; ++r) {
+          if (db::direct::read_header(db_, u, r).status != db::kStatusActive) {
+            continue;
+          }
+          const std::int32_t key = db::direct::read_field(db_, u, r, f);
+          if (key > 0 &&
+              static_cast<db::RecordIndex>(key - 1) < spec.num_records) {
+            referenced[static_cast<std::size_t>(key - 1)] = true;
+          }
+        }
+      }
+    }
+    for (db::RecordIndex r = 0; r < spec.num_records; ++r) {
+      const auto header = db::direct::read_header(db_, t, r);
+      if (header.status != db::kStatusActive || referenced[r] ||
+          recently_written(t, r)) {
+        continue;
+      }
+      result.cost += config_.cost_per_loop_semantic;
+      ++result.findings;
+      free_and_terminate(t, r, Technique::SemanticCheck);
+    }
+  }
+  return result;
+}
+
+CheckResult AuditEngine::check_selective(db::TableId t) {
+  CheckResult result;
+  if (!config_.selective_monitoring || t >= db_.table_count()) {
+    return result;
+  }
+  const auto& spec = db_.schema().tables[t];
+  if (!spec.dynamic || db_.lock_info(t)) {
+    return result;
+  }
+  for (db::FieldId f = 0; f < spec.fields.size(); ++f) {
+    const auto& field = spec.fields[f];
+    // Only attributes with no enforceable catalog rule are worth deriving
+    // invariants for (§4.4.2's motivation).
+    if (field.kind != db::DataKind::Dynamic || field.has_range() ||
+        field.role != db::FieldRole::Plain) {
+      continue;
+    }
+    common::ValueHistogram histogram;
+    for (db::RecordIndex r = 0; r < spec.num_records; ++r) {
+      if (db::direct::read_header(db_, t, r).status != db::kStatusActive ||
+          recently_written(t, r)) {
+        continue;
+      }
+      result.cost += config_.cost_per_field_range;
+      histogram.add(db::direct::read_field(db_, t, r, f));
+    }
+    if (histogram.total() < config_.selective_min_records ||
+        histogram.mean_occurrences() < config_.selective_min_mean_occurrences) {
+      continue;  // not enough data / distribution too flat to trust
+    }
+    const auto suspects = histogram.suspects(config_.selective_fraction);
+    if (suspects.empty()) {
+      continue;
+    }
+    for (db::RecordIndex r = 0; r < spec.num_records; ++r) {
+      if (db::direct::read_header(db_, t, r).status != db::kStatusActive ||
+          recently_written(t, r)) {
+        continue;
+      }
+      const std::int32_t value = db::direct::read_field(db_, t, r, f);
+      if (std::find(suspects.begin(), suspects.end(), value) == suspects.end()) {
+        continue;
+      }
+      // "Further checked by other means": escalate to the semantic audit
+      // before acting on a derived (unverified) invariant.
+      std::vector<std::pair<db::TableId, db::RecordIndex>> chain;
+      if (loop_intact(t, r, chain)) {
+        // The record's relationships are intact, but the attribute value
+        // is a statistical outlier — reset the field only.
+        Finding finding;
+        finding.technique = Technique::SelectiveMonitor;
+        finding.recovery = Recovery::ResetField;
+        finding.table = t;
+        finding.record = r;
+        finding.field = f;
+        finding.offset = db_.layout().field_offset(t, r, f);
+        finding.length = 4;
+        report(finding);
+        ++result.findings;
+        db::direct::write_field(db_, t, r, f, field.default_value);
+      } else {
+        ++result.findings;
+        free_and_terminate(t, r, Technique::SelectiveMonitor);
+      }
+    }
+  }
+  return result;
+}
+
+CheckResult AuditEngine::check_record(db::TableId t, db::RecordIndex r) {
+  CheckResult result;
+  if (t >= db_.table_count() ||
+      r >= db_.schema().tables[t].num_records) {
+    return result;
+  }
+  result.cost += config_.cost_event_check;
+
+  // Header check (expected next recomputed against current group layout).
+  const auto& tl = db_.layout().table(t);
+  std::uint32_t expected_next = db::kNilLink;
+  const auto my_header = db::direct::read_header(db_, t, r);
+  if (my_header.group < db::kMaxGroups) {
+    for (db::RecordIndex s = r + 1; s < tl.num_records; ++s) {
+      if (db::direct::read_header(db_, t, s).group == my_header.group) {
+        expected_next = s;
+        break;
+      }
+    }
+  }
+  bool corrupted = false;
+  result += check_one_header(t, r, expected_next, corrupted);
+  if (corrupted) {
+    Finding finding;
+    finding.technique = Technique::StructuralCheck;
+    finding.recovery = Recovery::RepairHeader;
+    finding.table = t;
+    finding.record = r;
+    finding.offset = db_.layout().record_offset(t, r);
+    finding.length = db::kRecordHeaderSize;
+    report(finding);
+    ++result.findings;
+    db::direct::repair_header(db_, t, r);
+  }
+
+  // Range check of this record only, ignoring the write-grace window: the
+  // triggering write is exactly what is under suspicion.
+  const auto& spec = db_.schema().tables[t];
+  if (config_.range_check && spec.dynamic &&
+      db::direct::read_header(db_, t, r).status == db::kStatusActive) {
+    for (db::FieldId f = 0; f < spec.fields.size(); ++f) {
+      const auto& field = spec.fields[f];
+      if (!field.has_range()) {
+        continue;
+      }
+      result.cost += config_.cost_per_field_range;
+      const std::int32_t value = db::direct::read_field(db_, t, r, f);
+      if (value >= *field.range_min && value <= *field.range_max) {
+        continue;
+      }
+      Finding finding;
+      finding.technique = Technique::RangeCheck;
+      finding.table = t;
+      finding.record = r;
+      finding.field = f;
+      finding.offset = db_.layout().field_offset(t, r, f);
+      finding.length = 4;
+      ++result.findings;
+      db::direct::write_field(db_, t, r, f, field.default_value);
+      if (config_.free_dynamic_on_range_error) {
+        finding.recovery = Recovery::FreeRecord;
+        report(finding);
+        db::direct::free_record(db_, t, r);
+        break;
+      }
+      finding.recovery = Recovery::ResetField;
+      report(finding);
+    }
+  }
+  return result;
+}
+
+CheckResult AuditEngine::full_pass(const std::vector<db::TableId>& order) {
+  CheckResult result;
+  result += check_static();
+  for (const db::TableId t : order) {
+    result += check_structure(t);
+    result += check_ranges(t);
+    if (config_.selective_monitoring) {
+      result += check_selective(t);
+    }
+  }
+  result += check_semantics();
+  return result;
+}
+
+}  // namespace wtc::audit

@@ -1,0 +1,53 @@
+// IPC message types flowing between the database API, the audit process,
+// and the manager (Figure 1's message queue and heartbeat arrows).
+#pragma once
+
+#include <cstdint>
+
+#include "db/api.hpp"
+#include "sim/node.hpp"
+
+namespace wtc::audit::msg {
+
+/// Manager -> audit: heartbeat query. args: {sequence}.
+inline constexpr std::uint32_t kHeartbeat = 1;
+/// Audit -> manager: heartbeat reply. args: {sequence}.
+inline constexpr std::uint32_t kHeartbeatReply = 2;
+/// DB API -> audit: an API function was called (§4.2: "send a message to
+/// the audit process whenever any API function is called").
+/// args: {client pid, op, table, record, is_update}.
+inline constexpr std::uint32_t kApiActivity = 3;
+
+/// Packs an ApiEvent into an IPC message.
+[[nodiscard]] inline sim::Message make_activity(const db::ApiEvent& event) {
+  sim::Message message;
+  message.type = kApiActivity;
+  message.args = {static_cast<std::uint64_t>(event.client),
+                  static_cast<std::uint64_t>(event.op),
+                  static_cast<std::uint64_t>(event.table),
+                  static_cast<std::uint64_t>(event.record),
+                  event.is_update ? 1ull : 0ull};
+  return message;
+}
+
+struct ActivityView {
+  sim::ProcessId client;
+  db::ApiOp op;
+  db::TableId table;
+  db::RecordIndex record;
+  bool is_update;
+};
+
+[[nodiscard]] inline ActivityView view_activity(const sim::Message& message) {
+  ActivityView view{};
+  if (message.args.size() >= 5) {
+    view.client = static_cast<sim::ProcessId>(message.args[0]);
+    view.op = static_cast<db::ApiOp>(message.args[1]);
+    view.table = static_cast<db::TableId>(message.args[2]);
+    view.record = static_cast<db::RecordIndex>(message.args[3]);
+    view.is_update = message.args[4] != 0;
+  }
+  return view;
+}
+
+}  // namespace wtc::audit::msg

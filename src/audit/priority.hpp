@@ -1,0 +1,58 @@
+// Prioritized audit triggering (§4.4.1).
+//
+// Ranks database tables by a weighted measure of importance — access
+// frequency, the nature of the object, and recent error history — and
+// schedules audits so that more important tables are checked more often.
+// Selection uses deficit scheduling: each table accrues credit in
+// proportion to its importance share and the highest-credit table is
+// audited next, so audit *frequency* tracks importance while every table
+// is still visited (no starvation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "db/database.hpp"
+
+namespace wtc::audit {
+
+struct PriorityWeights {
+  double access_frequency = 0.6;  ///< heavily used tables corrupt & propagate more
+  double error_history = 0.3;     ///< temporal locality of data errors
+  double nature = 0.1;            ///< intrinsic importance of the object
+  /// Allocation exponent: audit frequency ∝ importance^exponent. 1.0 is
+  /// naive proportional allocation; values above 1 concentrate harder on
+  /// the hot tables (whose errors are consumed fastest and therefore
+  /// escape unless audited quickly).
+  double exponent = 1.0;
+};
+
+class PriorityScheduler {
+ public:
+  explicit PriorityScheduler(const db::Database& db,
+                             PriorityWeights weights = {});
+
+  /// Importance share of each table in [0,1], summing to 1 — derived from
+  /// the database's runtime statistics at this instant.
+  [[nodiscard]] std::vector<double> shares() const;
+
+  /// Picks the next table to audit (prioritized mode) and charges its
+  /// deficit. Never starves a table: credit accrues every call.
+  [[nodiscard]] db::TableId next_prioritized();
+
+  /// Picks the next table in fixed rotation (unprioritized baseline).
+  [[nodiscard]] db::TableId next_round_robin();
+
+  /// Snapshot + clear the per-cycle error counters (call at cycle starts
+  /// so `errors_last_cycle` means "previous cycle" during ranking).
+  void begin_cycle(db::Database& db);
+
+ private:
+  const db::Database& db_;
+  PriorityWeights weights_;
+  std::vector<double> credit_;
+  std::vector<std::uint64_t> prev_cycle_errors_;
+  std::size_t rr_next_ = 0;
+};
+
+}  // namespace wtc::audit

@@ -1,0 +1,249 @@
+#include "audit/process.hpp"
+
+#include "audit/messages.hpp"
+#include "common/log.hpp"
+#include "db/direct.hpp"
+
+namespace wtc::audit {
+
+AuditProcess::AuditProcess(db::Database& db, sim::Cpu& cpu,
+                           AuditProcessConfig config, ReportSink* sink,
+                           ClientControl* control)
+    : db_(db),
+      cpu_(cpu),
+      config_(config),
+      engine_(db, config.engine, [this]() { return node().now(); }),
+      scheduler_(db, config.weights),
+      control_(control) {
+  if (config_.escalation) {
+    escalation_.emplace(db, config_.escalation_config);
+    escalating_sink_.emplace(*escalation_, sink,
+                             [this]() { return node().now(); });
+    engine_.set_report_sink(&*escalating_sink_);
+  } else {
+    engine_.set_report_sink(sink);
+  }
+  engine_.set_client_control(control);
+
+  if (config_.heartbeat) {
+    add_element(std::make_unique<HeartbeatElement>());
+  }
+  if (config_.progress_indicator) {
+    add_element(std::make_unique<ProgressIndicatorElement>());
+  }
+  if (config_.periodic_enabled) {
+    add_element(std::make_unique<PeriodicAuditElement>());
+  }
+  if (config_.event_triggered) {
+    add_element(std::make_unique<EventTriggeredAuditElement>());
+  }
+  if (config_.low_resource_trigger) {
+    add_element(std::make_unique<LowResourceTriggerElement>());
+  }
+}
+
+void AuditProcess::add_element(std::unique_ptr<AuditElement> element) {
+  elements_.push_back(std::move(element));
+}
+
+void AuditProcess::on_start() {
+  for (const auto& element : elements_) {
+    element->on_start(*this);
+  }
+}
+
+void AuditProcess::on_message(const sim::Message& message) {
+  // The main thread's job (§4): route each message to the elements that
+  // registered for its type.
+  for (const auto& element : elements_) {
+    if (element->accepts(message.type)) {
+      element->on_message(*this, message);
+    }
+  }
+}
+
+sim::Time AuditProcess::book_cpu(sim::Duration cost) {
+  return cpu_.book(node().now(), cost);
+}
+
+// --- HeartbeatElement ---
+
+bool HeartbeatElement::accepts(std::uint32_t type) const {
+  return type == msg::kHeartbeat;
+}
+
+void HeartbeatElement::on_message(AuditProcess& process,
+                                  const sim::Message& message) {
+  sim::Message reply;
+  reply.from = process.pid();
+  reply.type = msg::kHeartbeatReply;
+  reply.args = message.args;
+  process.node().send(message.from, std::move(reply));
+}
+
+// --- ProgressIndicatorElement ---
+
+bool ProgressIndicatorElement::accepts(std::uint32_t type) const {
+  return type == msg::kApiActivity;
+}
+
+void ProgressIndicatorElement::on_message(AuditProcess&, const sim::Message&) {
+  ++counter_;  // any API activity indicates database progress
+}
+
+void ProgressIndicatorElement::on_start(AuditProcess& process) {
+  last_seen_ = counter_;
+  process.schedule_after(process.config().progress_timeout,
+                         [this, &process]() { check(process); });
+}
+
+void ProgressIndicatorElement::check(AuditProcess& process) {
+  if (counter_ == last_seen_) {
+    // No database activity for a whole timeout period: look for a client
+    // wedging the database with a stale lock and terminate it (§4.2).
+    const sim::Time now = process.node().now();
+    for (const auto& [table, lock] : process.database().held_locks()) {
+      if (now - lock.since <
+          static_cast<sim::Time>(process.config().lock_hold_threshold)) {
+        continue;
+      }
+      common::log(common::LogLevel::Info, "audit",
+                  "progress indicator: terminating client ", lock.owner,
+                  " holding table ", table);
+      ++recoveries_;
+      Finding finding;
+      finding.technique = Technique::ProgressIndicator;
+      finding.recovery = Recovery::KillClientProcess;
+      finding.table = table;
+      process.engine().report_external(finding);
+      if (auto* control = process.client_control()) {
+        control->kill_client_process(lock.owner);
+      } else {
+        process.node().kill(lock.owner);
+      }
+      process.database().release_locks_of(lock.owner);
+    }
+  }
+  last_seen_ = counter_;
+  process.schedule_after(process.config().progress_timeout,
+                         [this, &process]() { check(process); });
+}
+
+// --- PeriodicAuditElement ---
+
+void PeriodicAuditElement::on_start(AuditProcess& process) {
+  process.schedule_after(process.config().period,
+                         [this, &process]() { tick(process); });
+}
+
+void PeriodicAuditElement::tick(AuditProcess& process) {
+  auto& db = process.database();
+  auto& engine = process.engine();
+  process.scheduler().begin_cycle(db);
+
+  CheckResult result;
+  if (process.config().one_table_per_tick) {
+    const db::TableId t = process.config().prioritized
+                              ? process.scheduler().next_prioritized()
+                              : process.scheduler().next_round_robin();
+    result += engine.check_structure(t);
+    result += engine.check_ranges(t);
+    if (process.config().engine.selective_monitoring) {
+      result += engine.check_selective(t);
+    }
+  } else {
+    std::vector<db::TableId> order;
+    if (process.config().prioritized) {
+      // Audit every table this cycle, most important first — importance
+      // ordering shortens detection latency for hot tables.
+      auto share = process.scheduler().shares();
+      order.resize(db.table_count());
+      for (std::size_t t = 0; t < order.size(); ++t) {
+        order[t] = static_cast<db::TableId>(t);
+      }
+      std::sort(order.begin(), order.end(), [&share](db::TableId a, db::TableId b) {
+        return share[a] > share[b];
+      });
+    } else {
+      for (std::size_t t = 0; t < db.table_count(); ++t) {
+        order.push_back(static_cast<db::TableId>(t));
+      }
+    }
+    result = engine.full_pass(order);
+  }
+
+  process.book_cpu(result.cost);
+  process.note_cycle(result);
+  process.schedule_after(process.config().period,
+                         [this, &process]() { tick(process); });
+}
+
+// --- EventTriggeredAuditElement ---
+
+bool EventTriggeredAuditElement::accepts(std::uint32_t type) const {
+  return type == msg::kApiActivity;
+}
+
+void EventTriggeredAuditElement::on_message(AuditProcess& process,
+                                            const sim::Message& message) {
+  const auto activity = msg::view_activity(message);
+  if (!activity.is_update) {
+    return;
+  }
+  ++triggered_;
+  const CheckResult result =
+      process.engine().check_record(activity.table, activity.record);
+  process.book_cpu(result.cost);
+}
+
+// --- LowResourceTriggerElement ---
+
+void LowResourceTriggerElement::on_start(AuditProcess& process) {
+  process.schedule_after(process.config().low_resource_period,
+                         [this, &process]() { scan(process); });
+}
+
+void LowResourceTriggerElement::scan(AuditProcess& process) {
+  auto& db = process.database();
+  bool critical = false;
+  for (db::TableId t = 0; t < db.table_count(); ++t) {
+    const auto& spec = db.schema().tables[t];
+    if (!spec.dynamic) {
+      continue;
+    }
+    std::uint32_t free_records = 0;
+    for (db::RecordIndex r = 0; r < spec.num_records; ++r) {
+      if (db::direct::read_header(db, t, r).status == db::kStatusFree) {
+        ++free_records;
+      }
+    }
+    const double ratio = static_cast<double>(free_records) /
+                         static_cast<double>(spec.num_records);
+    if (ratio < process.config().low_water_fraction) {
+      critical = true;
+    }
+  }
+  if (critical) {
+    // Critically low availability: reclaim leaked records NOW instead of
+    // waiting for the next periodic cycle.
+    ++sweeps_triggered_;
+    CheckResult result = process.engine().check_semantics();
+    for (db::TableId t = 0; t < db.table_count(); ++t) {
+      result += process.engine().check_structure(t);
+    }
+    process.book_cpu(result.cost);
+  }
+  process.schedule_after(process.config().low_resource_period,
+                         [this, &process]() { scan(process); });
+}
+
+// --- IpcNotificationSink ---
+
+void IpcNotificationSink::on_api_event(const db::ApiEvent& event) {
+  const sim::ProcessId audit = audit_pid_();
+  if (audit != sim::kNoProcess) {
+    node_.send(audit, msg::make_activity(event));
+  }
+}
+
+}  // namespace wtc::audit

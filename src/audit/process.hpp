@@ -1,0 +1,216 @@
+// The audit process (Figure 1): a dedicated process hosting the audit
+// framework — a main thread that translates IPC into element invocations,
+// and pluggable elements implementing triggering, detection, and recovery.
+//
+// Extensibility contract (§4): a new element declares which message types
+// it accepts and is handed matching messages by the main thread; elements
+// are independent of one another, so the audit subsystem is customized by
+// composing elements.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "audit/engine.hpp"
+#include "audit/escalation.hpp"
+#include "audit/priority.hpp"
+#include "audit/report.hpp"
+#include "db/api.hpp"
+#include "sim/cpu.hpp"
+#include "sim/node.hpp"
+
+namespace wtc::audit {
+
+class AuditProcess;
+
+/// One pluggable element of the audit framework.
+class AuditElement {
+ public:
+  virtual ~AuditElement() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Invoked when the audit process (re)starts.
+  virtual void on_start(AuditProcess& process) { (void)process; }
+  /// Message types this element accepts (the registration the paper
+  /// describes: an element communicates its accepted message set).
+  [[nodiscard]] virtual bool accepts(std::uint32_t type) const {
+    (void)type;
+    return false;
+  }
+  virtual void on_message(AuditProcess& process, const sim::Message& message) {
+    (void)process;
+    (void)message;
+  }
+};
+
+struct AuditProcessConfig {
+  EngineConfig engine;
+  PriorityWeights weights;
+
+  /// Periodic audit (§4.3): interval of the full pass (Table 2: 10 s).
+  sim::Duration period = 10 * static_cast<sim::Duration>(sim::kSecond);
+  bool periodic_enabled = true;
+  /// Prioritized triggering (§4.4.1) and one-table-per-tick pacing
+  /// (Table 5: "1 table every 5 seconds").
+  bool prioritized = false;
+  bool one_table_per_tick = false;
+
+  /// Event-triggered audit (§4.3): check the written record on DB updates.
+  bool event_triggered = false;
+
+  /// Low-resource trigger (§4.3's other example event: "when the system
+  /// enters a critically low available resource state"): when a dynamic
+  /// table's free-record ratio falls below the low-water mark, run the
+  /// semantic audit immediately to reclaim leaked ("zombie") records.
+  bool low_resource_trigger = false;
+  double low_water_fraction = 0.15;
+  sim::Duration low_resource_period = 5 * static_cast<sim::Duration>(sim::kSecond);
+
+  /// Progress indicator (§4.2).
+  bool progress_indicator = true;
+  sim::Duration progress_timeout = 100 * static_cast<sim::Duration>(sim::kSecond);
+  sim::Duration lock_hold_threshold =
+      100 * static_cast<sim::Duration>(sim::kMillisecond);
+
+  bool heartbeat = true;
+
+  /// Hierarchical recovery escalation (the 5ESS-style strategy the
+  /// paper's §2 builds on): repeated findings on a table escalate the
+  /// localized repairs to a table reload, then to a full reload.
+  bool escalation = false;
+  EscalationConfig escalation_config;
+};
+
+class AuditProcess final : public sim::Process {
+ public:
+  AuditProcess(db::Database& db, sim::Cpu& cpu, AuditProcessConfig config,
+               ReportSink* sink, ClientControl* control);
+
+  void on_start() override;
+  void on_message(const sim::Message& message) override;
+
+  /// Framework API: registers an element (before or after start).
+  void add_element(std::unique_ptr<AuditElement> element);
+
+  [[nodiscard]] AuditEngine& engine() noexcept { return engine_; }
+  [[nodiscard]] db::Database& database() noexcept { return db_; }
+  [[nodiscard]] sim::Cpu& cpu() noexcept { return cpu_; }
+  [[nodiscard]] const AuditProcessConfig& config() const noexcept { return config_; }
+  [[nodiscard]] PriorityScheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] ClientControl* client_control() noexcept { return control_; }
+  [[nodiscard]] const EscalationPolicy* escalation() const noexcept {
+    return escalation_ ? &*escalation_ : nullptr;
+  }
+
+  /// Books `cost` of audit CPU work; returns completion time.
+  sim::Time book_cpu(sim::Duration cost);
+
+  // --- aggregated statistics ---
+  void note_cycle(const CheckResult& result) noexcept {
+    ++cycles_;
+    total_cost_ += result.cost;
+  }
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+  [[nodiscard]] sim::Duration total_cost() const noexcept { return total_cost_; }
+
+ private:
+  db::Database& db_;
+  sim::Cpu& cpu_;
+  AuditProcessConfig config_;
+  std::optional<EscalationPolicy> escalation_;
+  std::optional<EscalatingSink> escalating_sink_;
+  AuditEngine engine_;
+  PriorityScheduler scheduler_;
+  ClientControl* control_;
+  std::vector<std::unique_ptr<AuditElement>> elements_;
+  std::uint64_t cycles_ = 0;
+  sim::Duration total_cost_ = 0;
+};
+
+// --- standard elements ---
+
+/// Replies to the manager's heartbeat queries (§4.1).
+class HeartbeatElement final : public AuditElement {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "heartbeat"; }
+  [[nodiscard]] bool accepts(std::uint32_t type) const override;
+  void on_message(AuditProcess& process, const sim::Message& message) override;
+};
+
+/// Database deadlock detection via API activity messages (§4.2).
+class ProgressIndicatorElement final : public AuditElement {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "progress-indicator"; }
+  void on_start(AuditProcess& process) override;
+  [[nodiscard]] bool accepts(std::uint32_t type) const override;
+  void on_message(AuditProcess& process, const sim::Message& message) override;
+
+  [[nodiscard]] std::uint64_t activity_count() const noexcept { return counter_; }
+  [[nodiscard]] std::uint32_t recoveries() const noexcept { return recoveries_; }
+
+ private:
+  void check(AuditProcess& process);
+  std::uint64_t counter_ = 0;
+  std::uint64_t last_seen_ = 0;
+  std::uint32_t recoveries_ = 0;
+};
+
+/// Periodic audit trigger (§4.3 / §4.4.1): runs a full pass every period,
+/// or one (prioritized / round-robin) table per tick.
+class PeriodicAuditElement final : public AuditElement {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "periodic-audit"; }
+  void on_start(AuditProcess& process) override;
+
+ private:
+  void tick(AuditProcess& process);
+};
+
+/// Event-triggered audit (§4.3): targeted check of each updated record.
+class EventTriggeredAuditElement final : public AuditElement {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "event-audit"; }
+  [[nodiscard]] bool accepts(std::uint32_t type) const override;
+  void on_message(AuditProcess& process, const sim::Message& message) override;
+
+  [[nodiscard]] std::uint64_t triggered() const noexcept { return triggered_; }
+
+ private:
+  std::uint64_t triggered_ = 0;
+};
+
+/// Low-resource event trigger (§4.3): monitors free-record availability in
+/// the dynamic tables and fires an immediate semantic/structural sweep
+/// when a table runs critically low — reclaiming leaked records before
+/// allocation failures turn into lost calls.
+class LowResourceTriggerElement final : public AuditElement {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "low-resource"; }
+  void on_start(AuditProcess& process) override;
+
+  [[nodiscard]] std::uint64_t sweeps_triggered() const noexcept {
+    return sweeps_triggered_;
+  }
+
+ private:
+  void scan(AuditProcess& process);
+  std::uint64_t sweeps_triggered_ = 0;
+};
+
+/// Adapter: forwards instrumented-API notifications into the audit
+/// process's IPC queue (the Figure-1 message queue). Resilient to audit
+/// process restarts via the pid provider.
+class IpcNotificationSink final : public db::NotificationSink {
+ public:
+  IpcNotificationSink(sim::Node& node, std::function<sim::ProcessId()> audit_pid)
+      : node_(node), audit_pid_(std::move(audit_pid)) {}
+
+  void on_api_event(const db::ApiEvent& event) override;
+
+ private:
+  sim::Node& node_;
+  std::function<sim::ProcessId()> audit_pid_;
+};
+
+}  // namespace wtc::audit

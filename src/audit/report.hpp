@@ -1,0 +1,71 @@
+// Audit findings and the interfaces the audit subsystem reports through.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "db/schema.hpp"
+#include "sim/node.hpp"
+#include "sim/time.hpp"
+
+namespace wtc::audit {
+
+/// Which detection technique produced a finding (§4.3-4.4).
+enum class Technique : std::uint8_t {
+  StaticChecksum,     ///< golden CRC over static data (§4.3.1)
+  RangeCheck,         ///< dynamic-data range audit (§4.3.1)
+  StructuralCheck,    ///< record headers at computed offsets (§4.3.2)
+  SemanticCheck,      ///< referential-integrity loop audit (§4.3.3)
+  SelectiveMonitor,   ///< runtime-derived invariants (§4.4.2)
+  ProgressIndicator,  ///< database deadlock detection (§4.2)
+};
+
+/// Which recovery action accompanied the detection.
+enum class Recovery : std::uint8_t {
+  None,
+  ReloadSpan,   ///< static data reloaded from disk
+  ReloadAll,    ///< whole database reloaded (structural damage)
+  RepairHeader, ///< record id/status/links repaired in place
+  ResetField,   ///< field reset to its catalog default
+  FreeRecord,   ///< record freed preemptively (drops one call)
+  TerminateClientThread,  ///< offending client thread terminated
+  KillClientProcess,      ///< lock-holding client killed (progress indicator)
+};
+
+[[nodiscard]] std::string_view to_string(Technique technique) noexcept;
+[[nodiscard]] std::string_view to_string(Recovery recovery) noexcept;
+
+/// One detected-and-recovered error.
+struct Finding {
+  Technique technique = Technique::RangeCheck;
+  Recovery recovery = Recovery::None;
+  db::TableId table = db::kNoTable;
+  db::RecordIndex record = 0;
+  db::FieldId field = 0;
+  /// Region span implicated by the finding (what the detection localized).
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  sim::Time time = 0;
+};
+
+/// Consumer of findings. The experiment oracle implements this to mark
+/// injected errors "caught by audit" *before* the recovery writes land.
+class ReportSink {
+ public:
+  virtual ~ReportSink() = default;
+  virtual void on_finding(const Finding& finding) = 0;
+};
+
+/// Recovery actions that reach outside the database: the semantic audit
+/// preemptively terminates the client thread using a zombie record
+/// (§4.3.3); the progress indicator kills a lock-wedged client process
+/// (§4.2). Implemented by the call-processing client / the harness.
+class ClientControl {
+ public:
+  virtual ~ClientControl() = default;
+  virtual void terminate_client_thread(sim::ProcessId client,
+                                       std::uint32_t thread_id) = 0;
+  virtual void kill_client_process(sim::ProcessId client) = 0;
+};
+
+}  // namespace wtc::audit

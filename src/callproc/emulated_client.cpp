@@ -1,0 +1,86 @@
+#include "callproc/emulated_client.hpp"
+
+#include <algorithm>
+
+namespace wtc::callproc {
+
+EmulatedLoadClient::EmulatedLoadClient(db::Database& db, sim::Cpu& cpu,
+                                       common::Rng rng, EmulatedLoadConfig config,
+                                       db::NotificationSink* sink)
+    : db_(db),
+      cpu_(cpu),
+      rng_(rng),
+      config_(std::move(config)),
+      api_(db, [this]() { return this->now(); }) {
+  api_.set_audit_hooks(sink);
+  for (const std::uint32_t weight : config_.access_ratio) {
+    ratio_total_ += weight;
+  }
+}
+
+void EmulatedLoadClient::on_start() {
+  running_ = true;
+  api_.init(pid());
+  for (std::uint32_t t = 0; t < config_.threads; ++t) {
+    schedule_op(t);
+  }
+}
+
+void EmulatedLoadClient::on_stopped() {
+  running_ = false;
+  if (api_.connected()) {
+    api_.close();
+  }
+}
+
+void EmulatedLoadClient::schedule_op(std::uint32_t thread) {
+  const double mean_us =
+      static_cast<double>(sim::kSecond) / config_.ops_per_second_per_thread;
+  const auto wait = static_cast<sim::Duration>(rng_.exponential(mean_us));
+  schedule_after(wait, [this, thread]() {
+    if (running_) {
+      do_op(thread);
+      schedule_op(thread);
+    }
+  });
+}
+
+db::TableId EmulatedLoadClient::pick_table() {
+  std::uint64_t pick = rng_.uniform(ratio_total_);
+  for (std::size_t t = 0; t < config_.access_ratio.size(); ++t) {
+    if (pick < config_.access_ratio[t]) {
+      return static_cast<db::TableId>(t);
+    }
+    pick -= config_.access_ratio[t];
+  }
+  return 0;
+}
+
+void EmulatedLoadClient::do_op(std::uint32_t thread) {
+  api_.set_thread_id(thread);
+  const db::TableId t = pick_table();
+  const auto& spec = db_.schema().tables[t];
+  const auto record = static_cast<db::RecordIndex>(rng_.uniform(spec.num_records));
+  const auto field = static_cast<db::FieldId>(rng_.uniform(spec.fields.size()));
+  ++operations_;
+
+  if (rng_.uniform01() < config_.write_fraction) {
+    // Legitimate write: a valid value for the field's rule.
+    const auto& fs = spec.fields[field];
+    std::int32_t value = 0;
+    if (fs.has_range()) {
+      value = static_cast<std::int32_t>(
+          rng_.uniform_range(*fs.range_min, *fs.range_max));
+    } else {
+      value = static_cast<std::int32_t>(rng_.uniform(1'000));
+    }
+    api_.write_fld(t, record, field, value);
+    cpu_.book(now(), db::api_cost(db::ApiOp::WriteFld, api_.instrumented()));
+  } else {
+    std::int32_t value = 0;
+    api_.read_fld(t, record, field, value);
+    cpu_.book(now(), db::api_cost(db::ApiOp::ReadFld, api_.instrumented()));
+  }
+}
+
+}  // namespace wtc::callproc

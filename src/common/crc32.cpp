@@ -1,0 +1,40 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace wtc::common {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected IEEE 802.3
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(std::span<const std::byte> bytes) noexcept {
+  std::uint32_t c = state_;
+  for (std::byte b : bytes) {
+    c = kTable[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t crc32(std::span<const std::byte> bytes) noexcept {
+  Crc32 engine;
+  engine.update(bytes);
+  return engine.value();
+}
+
+}  // namespace wtc::common

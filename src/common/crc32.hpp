@@ -1,0 +1,32 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) used by the audit subsystem's
+// static-data checksum element (paper §4.3.1: "32-bit Cyclic Redundancy
+// Code" golden checksum of all static data).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace wtc::common {
+
+/// Incremental CRC-32 engine. Feed bytes in any chunking; `value()` is
+/// stable for a given byte sequence regardless of chunk boundaries.
+class Crc32 {
+ public:
+  /// Absorbs `bytes` into the running checksum.
+  void update(std::span<const std::byte> bytes) noexcept;
+
+  /// Final checksum of everything absorbed so far.
+  [[nodiscard]] std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+
+  /// Resets to the empty-input state.
+  void reset() noexcept { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a byte range.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> bytes) noexcept;
+
+}  // namespace wtc::common

@@ -1,0 +1,33 @@
+// Minimal leveled logger. Experiments run millions of simulated events, so
+// logging defaults to Warn; tests and examples raise it as needed.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace wtc::common {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void log_write(LogLevel level, std::string_view component, std::string_view message);
+}
+
+/// Logs the stream-concatenation of `parts` under `component` if `level`
+/// passes the global threshold, e.g.
+///   log(LogLevel::Info, "audit", "detected error in table ", t);
+template <typename... Parts>
+void log(LogLevel level, std::string_view component, Parts&&... parts) {
+  if (level < log_level()) {
+    return;
+  }
+  std::ostringstream oss;
+  (oss << ... << std::forward<Parts>(parts));
+  detail::log_write(level, component, oss.str());
+}
+
+}  // namespace wtc::common

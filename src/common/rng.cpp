@@ -1,0 +1,86 @@
+#include "common/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace wtc::common {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+  // xoshiro requires a nonzero state; splitmix64 over four draws makes an
+  // all-zero state astronomically unlikely, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 1;
+  }
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
+  // Bitmask rejection: draw within the next power of two, retry on
+  // overshoot. Unbiased, and the expected retry count is < 1.
+  if (bound <= 1) {
+    return 0;
+  }
+  const int bits = 64 - std::countl_zero(bound - 1);
+  const std::uint64_t mask =
+      bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+  std::uint64_t x = next() & mask;
+  while (x >= bound) {
+    x = next() & mask;
+  }
+  return x;
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::exponential(double mean) noexcept {
+  double u = uniform01();
+  // uniform01() can return exactly 0; -log(0) is inf, so nudge.
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(u);
+}
+
+bool Rng::chance(double p) noexcept { return uniform01() < p; }
+
+Rng Rng::fork(std::uint64_t stream_id) const noexcept {
+  // Hash the parent state with the stream id through splitmix64 so the
+  // child stream is decorrelated from the parent's future output.
+  std::uint64_t mix = s_[0] ^ std::rotl(s_[3], 13) ^ (stream_id * 0xA24BAED4963EE407ull);
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace wtc::common

@@ -1,0 +1,519 @@
+#include "db/api.hpp"
+
+#include <algorithm>
+
+#include "db/direct.hpp"
+
+namespace wtc::db {
+
+std::string_view to_string(Status status) noexcept {
+  switch (status) {
+    case Status::Ok: return "Ok";
+    case Status::NotConnected: return "NotConnected";
+    case Status::CatalogCorrupt: return "CatalogCorrupt";
+    case Status::NoSuchTable: return "NoSuchTable";
+    case Status::NoSuchRecord: return "NoSuchRecord";
+    case Status::NoSuchField: return "NoSuchField";
+    case Status::RecordNotActive: return "RecordNotActive";
+    case Status::NoFreeRecord: return "NoFreeRecord";
+    case Status::Locked: return "Locked";
+    case Status::BadGroup: return "BadGroup";
+  }
+  return "?";
+}
+
+DbApi::DbApi(Database& db, std::function<sim::Time()> clock)
+    : db_(db), clock_(std::move(clock)) {}
+
+Status DbApi::init(sim::ProcessId pid) {
+  pid_ = pid;
+  // Connection setup validates the in-region catalog (header + every
+  // table descriptor) before the client is allowed in — the dominant cost
+  // of DBinit in both forms, which is why the audit instrumentation adds
+  // proportionally little here (Figure 4's +6.5%).
+  const CatalogView catalog(db_.region());
+  bool catalog_ok = catalog.header_ok();
+  if (catalog_ok) {
+    for (TableId t = 0; t < catalog.table_count(); ++t) {
+      const auto desc = catalog.table(t);
+      if (!desc) {
+        catalog_ok = false;
+        continue;
+      }
+      for (FieldId f = 0; f < desc->num_fields; ++f) {
+        if (!catalog.field(t, f)) {
+          catalog_ok = false;
+        }
+      }
+    }
+  }
+  connected_ = true;
+  notify(ApiOp::Init, kNoTable, 0, false);
+  return catalog_ok ? Status::Ok : Status::CatalogCorrupt;
+}
+
+Status DbApi::close() {
+  if (!connected_) {
+    return Status::NotConnected;
+  }
+  if (sink_ != nullptr) {
+    // The modified DBclose flushes the connection's access-statistics
+    // summary to the audit process (prioritized-audit bookkeeping).
+    ApiEvent event;
+    event.op = ApiOp::Close;
+    event.client = pid_;
+    event.time = clock_();
+    const auto n = std::min<std::size_t>(db_.table_count(), event.payload.size());
+    for (std::size_t t = 0; t < n; ++t) {
+      event.payload[t] = static_cast<std::int32_t>(
+          db_.table_stats(static_cast<TableId>(t)).accesses());
+    }
+    event.payload_len = static_cast<std::uint8_t>(n);
+    sink_->on_api_event(event);
+  }
+  db_.release_locks_of(pid_);
+  connected_ = false;
+  return Status::Ok;
+}
+
+Status DbApi::resolve(TableId t, RecordIndex r, TableDescriptor& desc,
+                      std::size_t& record_offset) const {
+  if (!connected_) {
+    return Status::NotConnected;
+  }
+  // A catalog corruption that breaks decoding makes THIS operation fail —
+  // the application is affected right now (§3.2: "errors in the system
+  // catalog can cause all database operations to fail"), so the failed
+  // consultation counts as consumption of the corrupted metadata.
+  const auto catalog_failed = [&]() {
+    if (auto* obs = db_.observer()) {
+      obs->on_client_read(pid_, 0, db_.layout().catalog_size());
+    }
+  };
+  const CatalogView catalog(db_.region());
+  if (!catalog.header_ok()) {
+    catalog_failed();
+    return Status::CatalogCorrupt;
+  }
+  if (t >= catalog.table_count()) {
+    return Status::NoSuchTable;
+  }
+  const auto table_desc = catalog.table(t);
+  if (!table_desc) {
+    catalog_failed();
+    return Status::CatalogCorrupt;
+  }
+  if (r >= table_desc->num_records) {
+    return Status::NoSuchRecord;
+  }
+  desc = *table_desc;
+  record_offset = static_cast<std::size_t>(desc.table_offset) +
+                  static_cast<std::size_t>(r) * desc.record_size;
+  return Status::Ok;
+}
+
+Status DbApi::check_lock(TableId t, bool& auto_locked) {
+  auto_locked = false;
+  const auto info = db_.lock_info(t);
+  if (!info) {
+    db_.try_lock(t, pid_, clock_());
+    auto_locked = true;
+    return Status::Ok;
+  }
+  return info->owner == pid_ ? Status::Ok : Status::Locked;
+}
+
+void DbApi::notify(ApiOp op, TableId t, RecordIndex r, bool is_update) {
+  if (sink_ == nullptr) {
+    return;
+  }
+  ApiEvent event;
+  event.op = op;
+  event.client = pid_;
+  event.table = t;
+  event.record = r;
+  event.time = clock_();
+  event.is_update = is_update;
+  sink_->on_api_event(event);
+}
+
+void DbApi::notify_update(ApiOp op, TableId t, RecordIndex r,
+                          std::size_t record_at, std::uint32_t num_fields) {
+  if (sink_ == nullptr) {
+    return;
+  }
+  ApiEvent event;
+  event.op = op;
+  event.client = pid_;
+  event.table = t;
+  event.record = r;
+  event.time = clock_();
+  event.is_update = true;
+  const auto n =
+      std::min<std::uint32_t>(num_fields,
+                              static_cast<std::uint32_t>(event.payload.size()));
+  for (std::uint32_t f = 0; f < n; ++f) {
+    event.payload[f] = load_i32(db_.region(), record_at + kRecordHeaderSize + f * 4);
+  }
+  event.payload_len = static_cast<std::uint8_t>(n);
+  sink_->on_api_event(event);
+}
+
+void DbApi::touch_meta(TableId t, RecordIndex r, bool is_write) {
+  if (sink_ == nullptr || t >= db_.table_count()) {
+    return;  // metadata upkeep is part of the instrumented form only
+  }
+  auto& stats = db_.table_stats(t);
+  if (is_write) {
+    ++stats.writes;
+  } else {
+    ++stats.reads;
+  }
+  if (r < db_.schema().tables[t].num_records) {
+    auto& meta = db_.record_meta(t, r);
+    meta.last_access = clock_();
+    ++meta.access_count;
+    if (is_write) {
+      meta.last_writer = pid_;
+      meta.last_writer_thread = thread_id_;
+    }
+  }
+}
+
+Status DbApi::read_rec(TableId t, RecordIndex r, std::span<std::int32_t> out) {
+  TableDescriptor desc;
+  std::size_t at = 0;
+  if (const Status s = resolve(t, r, desc, at); s != Status::Ok) {
+    return s;
+  }
+  bool auto_locked = false;
+  if (const Status s = check_lock(t, auto_locked); s != Status::Ok) {
+    return s;
+  }
+  const auto header = load_record_header(db_.region(), at);
+  if (auto* obs = db_.observer()) {
+    // The op consults the record's status word — that is a client read of
+    // (possibly corrupted) structural data.
+    obs->on_client_read(pid_, at + 4, 4);
+  }
+  Status result = Status::Ok;
+  if (header.status != kStatusActive) {
+    result = Status::RecordNotActive;
+  } else {
+    const std::size_t n = std::min<std::size_t>(out.size(), desc.num_fields);
+    for (std::size_t f = 0; f < n; ++f) {
+      out[f] = load_i32(db_.region(), at + kRecordHeaderSize + f * 4);
+    }
+    if (auto* obs = db_.observer()) {
+      obs->on_client_read(pid_, at + kRecordHeaderSize, n * 4);
+    }
+  }
+  if (auto_locked) {
+    db_.unlock(t, pid_);
+  }
+  // Read-class ops feed the access statistics only; IPC events are posted
+  // for update-class ops (the event trigger) — reads would flood the queue
+  // for no audit value, and this is why Figure 4's read overheads are the
+  // small ones.
+  touch_meta(t, r, false);
+  return result;
+}
+
+Status DbApi::read_fld(TableId t, RecordIndex r, FieldId f, std::int32_t& out) {
+  TableDescriptor desc;
+  std::size_t at = 0;
+  if (const Status s = resolve(t, r, desc, at); s != Status::Ok) {
+    return s;
+  }
+  if (f >= desc.num_fields) {
+    return Status::NoSuchField;
+  }
+  bool auto_locked = false;
+  if (const Status s = check_lock(t, auto_locked); s != Status::Ok) {
+    return s;
+  }
+  const auto header = load_record_header(db_.region(), at);
+  if (auto* obs = db_.observer()) {
+    // The op consults the record's status word — that is a client read of
+    // (possibly corrupted) structural data.
+    obs->on_client_read(pid_, at + 4, 4);
+  }
+  Status result = Status::Ok;
+  if (header.status != kStatusActive) {
+    result = Status::RecordNotActive;
+  } else {
+    const std::size_t field_at = at + kRecordHeaderSize + static_cast<std::size_t>(f) * 4;
+    out = load_i32(db_.region(), field_at);
+    if (auto* obs = db_.observer()) {
+      obs->on_client_read(pid_, field_at, 4);
+    }
+  }
+  if (auto_locked) {
+    db_.unlock(t, pid_);
+  }
+  touch_meta(t, r, false);
+  return result;
+}
+
+Status DbApi::write_rec(TableId t, RecordIndex r, std::span<const std::int32_t> values) {
+  TableDescriptor desc;
+  std::size_t at = 0;
+  if (const Status s = resolve(t, r, desc, at); s != Status::Ok) {
+    return s;
+  }
+  bool auto_locked = false;
+  if (const Status s = check_lock(t, auto_locked); s != Status::Ok) {
+    return s;
+  }
+  const auto header = load_record_header(db_.region(), at);
+  if (auto* obs = db_.observer()) {
+    // The op consults the record's status word — that is a client read of
+    // (possibly corrupted) structural data.
+    obs->on_client_read(pid_, at + 4, 4);
+  }
+  Status result = Status::Ok;
+  if (header.status != kStatusActive) {
+    result = Status::RecordNotActive;
+  } else {
+    const std::size_t n = std::min<std::size_t>(values.size(), desc.num_fields);
+    for (std::size_t f = 0; f < n; ++f) {
+      store_i32(db_.region(), at + kRecordHeaderSize + f * 4, values[f]);
+    }
+    if (auto* obs = db_.observer()) {
+      obs->on_legitimate_write(at + kRecordHeaderSize, n * 4);
+    }
+  }
+  if (auto_locked) {
+    db_.unlock(t, pid_);
+  }
+  touch_meta(t, r, true);
+  notify_update(ApiOp::WriteRec, t, r, at, desc.num_fields);
+  return result;
+}
+
+Status DbApi::write_fld(TableId t, RecordIndex r, FieldId f, std::int32_t value) {
+  TableDescriptor desc;
+  std::size_t at = 0;
+  if (const Status s = resolve(t, r, desc, at); s != Status::Ok) {
+    return s;
+  }
+  if (f >= desc.num_fields) {
+    return Status::NoSuchField;
+  }
+  bool auto_locked = false;
+  if (const Status s = check_lock(t, auto_locked); s != Status::Ok) {
+    return s;
+  }
+  const auto header = load_record_header(db_.region(), at);
+  if (auto* obs = db_.observer()) {
+    // The op consults the record's status word — that is a client read of
+    // (possibly corrupted) structural data.
+    obs->on_client_read(pid_, at + 4, 4);
+  }
+  Status result = Status::Ok;
+  if (header.status != kStatusActive) {
+    result = Status::RecordNotActive;
+  } else {
+    const std::size_t field_at = at + kRecordHeaderSize + static_cast<std::size_t>(f) * 4;
+    store_i32(db_.region(), field_at, value);
+    if (auto* obs = db_.observer()) {
+      obs->on_legitimate_write(field_at, 4);
+    }
+  }
+  if (auto_locked) {
+    db_.unlock(t, pid_);
+  }
+  touch_meta(t, r, true);
+  // A single-field update event carries just the written field.
+  notify_update(ApiOp::WriteFld, t, r,
+                at + static_cast<std::size_t>(f) * 4, 1);
+  return result;
+}
+
+void DbApi::relink_groups(const TableDescriptor&, TableId t) {
+  // Rebuild every group chain in record-index order. This keeps the
+  // structural invariant "next == index of the next record in my group"
+  // exactly checkable (and repairable) by the structural audit. Shared
+  // with the audit's direct-access path so both maintain one invariant.
+  if (t < db_.table_count()) {
+    direct::relink_table(db_, t);
+  }
+}
+
+Status DbApi::move_rec(TableId t, RecordIndex r, std::uint32_t target_group) {
+  TableDescriptor desc;
+  std::size_t at = 0;
+  if (const Status s = resolve(t, r, desc, at); s != Status::Ok) {
+    return s;
+  }
+  if (target_group >= kMaxGroups) {
+    return Status::BadGroup;
+  }
+  bool auto_locked = false;
+  if (const Status s = check_lock(t, auto_locked); s != Status::Ok) {
+    return s;
+  }
+  auto header = load_record_header(db_.region(), at);
+  if (auto* obs = db_.observer()) {
+    obs->on_client_read(pid_, at + 4, 4);
+  }
+  Status result = Status::Ok;
+  if (header.status != kStatusActive) {
+    result = Status::RecordNotActive;
+  } else {
+    header.group = target_group;
+    store_record_header(db_.region(), at, header);
+    if (auto* obs = db_.observer()) {
+      obs->on_legitimate_write(at + 8, 4);  // group word rewritten
+    }
+    relink_groups(desc, t);
+  }
+  if (auto_locked) {
+    db_.unlock(t, pid_);
+  }
+  touch_meta(t, r, true);
+  notify_update(ApiOp::Move, t, r, at, desc.num_fields);
+  return result;
+}
+
+Status DbApi::alloc_rec(TableId t, std::uint32_t group, RecordIndex& out) {
+  TableDescriptor desc;
+  std::size_t at0 = 0;
+  if (const Status s = resolve(t, 0, desc, at0); s != Status::Ok) {
+    return s;
+  }
+  if (group == 0 || group >= kMaxGroups) {
+    return Status::BadGroup;  // group 0 is the free list
+  }
+  bool auto_locked = false;
+  if (const Status s = check_lock(t, auto_locked); s != Status::Ok) {
+    return s;
+  }
+  Status result = Status::NoFreeRecord;
+  out = 0;
+  for (RecordIndex r = 0; r < desc.num_records; ++r) {
+    const std::size_t at = static_cast<std::size_t>(desc.table_offset) +
+                           static_cast<std::size_t>(r) * desc.record_size;
+    auto header = load_record_header(db_.region(), at);
+  if (auto* obs = db_.observer()) {
+    obs->on_client_read(pid_, at + 4, 4);
+  }
+    if (header.status == kStatusFree) {
+      header.status = kStatusActive;
+      header.group = group;
+      store_record_header(db_.region(), at, header);
+      // Initialize data fields to catalog defaults.
+      const CatalogView catalog(db_.region());
+      for (FieldId f = 0; f < desc.num_fields; ++f) {
+        const auto field_desc = catalog.field(t, f);
+        store_i32(db_.region(), at + kRecordHeaderSize + static_cast<std::size_t>(f) * 4,
+                  field_desc ? field_desc->default_value : 0);
+      }
+      if (auto* obs = db_.observer()) {
+        obs->on_legitimate_write(at + 4, 8);  // status + group
+        obs->on_legitimate_write(at + kRecordHeaderSize, desc.num_fields * 4);
+      }
+      relink_groups(desc, t);
+      out = r;
+      result = Status::Ok;
+      touch_meta(t, r, true);
+      break;
+    }
+  }
+  if (auto_locked) {
+    db_.unlock(t, pid_);
+  }
+  notify(ApiOp::Alloc, t, out, true);
+  return result;
+}
+
+Status DbApi::free_rec(TableId t, RecordIndex r) {
+  TableDescriptor desc;
+  std::size_t at = 0;
+  if (const Status s = resolve(t, r, desc, at); s != Status::Ok) {
+    return s;
+  }
+  bool auto_locked = false;
+  if (const Status s = check_lock(t, auto_locked); s != Status::Ok) {
+    return s;
+  }
+  auto header = load_record_header(db_.region(), at);
+  if (auto* obs = db_.observer()) {
+    obs->on_client_read(pid_, at + 4, 4);
+  }
+  Status result = Status::Ok;
+  if (header.status != kStatusActive) {
+    result = Status::RecordNotActive;
+  } else {
+    header.status = kStatusFree;
+    header.group = 0;
+    store_record_header(db_.region(), at, header);
+    // Scrub the data portion back to catalog defaults so a freed record
+    // carries no stale call data (and the audit can verify free records
+    // exactly against their defaults).
+    const CatalogView catalog(db_.region());
+    for (FieldId f = 0; f < desc.num_fields; ++f) {
+      const auto field_desc = catalog.field(t, f);
+      store_i32(db_.region(), at + kRecordHeaderSize + static_cast<std::size_t>(f) * 4,
+                field_desc ? field_desc->default_value : 0);
+    }
+    if (auto* obs = db_.observer()) {
+      obs->on_legitimate_write(at + 4, 8);  // status + group
+      obs->on_legitimate_write(at + kRecordHeaderSize, desc.num_fields * 4);
+    }
+    relink_groups(desc, t);
+    touch_meta(t, r, true);
+  }
+  if (auto_locked) {
+    db_.unlock(t, pid_);
+  }
+  notify(ApiOp::Free, t, r, true);
+  return result;
+}
+
+Status DbApi::txn_begin(TableId t) {
+  if (!connected_) {
+    return Status::NotConnected;
+  }
+  const CatalogView catalog(db_.region());
+  if (!catalog.header_ok()) {
+    return Status::CatalogCorrupt;
+  }
+  if (t >= catalog.table_count()) {
+    return Status::NoSuchTable;
+  }
+  const Status result =
+      db_.try_lock(t, pid_, clock_()) ? Status::Ok : Status::Locked;
+  notify(ApiOp::TxnBegin, t, 0, false);
+  return result;
+}
+
+Status DbApi::txn_end(TableId t) {
+  if (!connected_) {
+    return Status::NotConnected;
+  }
+  const Status result = db_.unlock(t, pid_) ? Status::Ok : Status::NoSuchTable;
+  notify(ApiOp::TxnEnd, t, 0, false);
+  return result;
+}
+
+sim::Duration api_cost(ApiOp op, bool instrumented) noexcept {
+  // Base costs in microseconds, with instrumented multipliers shaped by
+  // the paper's Figure 4 (DBinit +6.5% ... DBwrite_rec +45.2%).
+  switch (op) {
+    case ApiOp::Init: return instrumented ? 320 : 300;
+    case ApiOp::Close: return instrumented ? 119 : 100;
+    case ApiOp::ReadRec: return instrumented ? 88 : 80;
+    case ApiOp::ReadFld: return instrumented ? 44 : 40;
+    case ApiOp::WriteRec: return instrumented ? 174 : 120;
+    case ApiOp::WriteFld: return instrumented ? 78 : 60;
+    case ApiOp::Move: return instrumented ? 189 : 150;
+    case ApiOp::Alloc: return instrumented ? 200 : 140;
+    case ApiOp::Free: return instrumented ? 180 : 130;
+    case ApiOp::TxnBegin: return instrumented ? 25 : 20;
+    case ApiOp::TxnEnd: return instrumented ? 25 : 20;
+  }
+  return 50;
+}
+
+}  // namespace wtc::db

@@ -1,0 +1,124 @@
+#include "db/database.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace wtc::db {
+
+Database::Database(Schema schema, const PopulateFn& populate)
+    : schema_(std::move(schema)), layout_(Layout::compute(schema_)) {
+  region_.resize(layout_.region_size());
+  format_region(region_, schema_, layout_);
+  if (populate) {
+    populate(region_, schema_, layout_);
+  }
+  pristine_ = region_;
+
+  locks_.resize(schema_.tables.size());
+  table_stats_.resize(schema_.tables.size());
+  record_meta_.reserve(schema_.tables.size());
+  for (const auto& table : schema_.tables) {
+    record_meta_.emplace_back(table.num_records);
+  }
+}
+
+void Database::reload_all_from_disk() noexcept {
+  std::memcpy(region_.data(), pristine_.data(), region_.size());
+  if (observer_ != nullptr) {
+    observer_->on_legitimate_write(0, region_.size());
+  }
+}
+
+void Database::reload_span_from_disk(std::size_t offset, std::size_t len) noexcept {
+  const std::size_t end = std::min(offset + len, region_.size());
+  if (offset >= end) {
+    return;
+  }
+  std::memcpy(region_.data() + offset, pristine_.data() + offset, end - offset);
+  if (observer_ != nullptr) {
+    observer_->on_legitimate_write(offset, end - offset);
+  }
+}
+
+void Database::reload_catalog_from_disk() noexcept {
+  reload_span_from_disk(0, layout_.catalog_size());
+}
+
+bool Database::install_image(std::span<const std::byte> bytes) {
+  if (bytes.size() != region_.size()) {
+    return false;
+  }
+  if (!CatalogView(bytes).header_ok()) {
+    return false;
+  }
+  std::memcpy(region_.data(), bytes.data(), bytes.size());
+  pristine_.assign(bytes.begin(), bytes.end());
+  if (observer_ != nullptr) {
+    observer_->on_legitimate_write(0, region_.size());
+  }
+  return true;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Database::static_spans() const {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  spans.emplace_back(0, layout_.catalog_size());
+  for (std::size_t t = 0; t < schema_.tables.size(); ++t) {
+    if (!schema_.tables[t].dynamic) {
+      const auto& tl = layout_.tables()[t];
+      spans.emplace_back(tl.offset, tl.record_size * tl.num_records);
+    }
+  }
+  return spans;
+}
+
+bool Database::try_lock(TableId t, sim::ProcessId pid, sim::Time now) noexcept {
+  if (t >= locks_.size()) {
+    return false;
+  }
+  auto& slot = locks_[t];
+  if (!slot) {
+    slot = LockInfo{pid, now};
+    return true;
+  }
+  return slot->owner == pid;
+}
+
+bool Database::unlock(TableId t, sim::ProcessId pid) noexcept {
+  if (t >= locks_.size() || !locks_[t] || locks_[t]->owner != pid) {
+    return false;
+  }
+  locks_[t].reset();
+  return true;
+}
+
+void Database::release_locks_of(sim::ProcessId pid) noexcept {
+  for (auto& slot : locks_) {
+    if (slot && slot->owner == pid) {
+      slot.reset();
+    }
+  }
+}
+
+std::optional<LockInfo> Database::lock_info(TableId t) const noexcept {
+  return t < locks_.size() ? locks_[t] : std::nullopt;
+}
+
+std::vector<std::pair<TableId, LockInfo>> Database::held_locks() const {
+  std::vector<std::pair<TableId, LockInfo>> held;
+  for (std::size_t t = 0; t < locks_.size(); ++t) {
+    if (locks_[t]) {
+      held.emplace_back(static_cast<TableId>(t), *locks_[t]);
+    }
+  }
+  return held;
+}
+
+RecordMeta& Database::record_meta(TableId t, RecordIndex r) {
+  return record_meta_.at(t).at(r);
+}
+
+const RecordMeta& Database::record_meta(TableId t, RecordIndex r) const {
+  return record_meta_.at(t).at(r);
+}
+
+}  // namespace wtc::db

@@ -1,0 +1,155 @@
+// The controller's in-memory database subsystem (§3.1.2).
+//
+// Owns the contiguous pre-allocated region (catalog + tables), the pristine
+// "disk image" used by audit recovery reloads, the per-table lock table the
+// API manipulates transparently for clients, and the redundant bookkeeping
+// the audit framework adds *outside* the original database structure
+// (§4.3.3): per-record last-writer / last-access-time / access counters and
+// per-table access-frequency and error-history statistics (§4.4.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "db/layout.hpp"
+#include "db/schema.hpp"
+#include "sim/node.hpp"
+#include "sim/time.hpp"
+
+namespace wtc::db {
+
+/// Hook the error-injection oracle attaches to distinguish legitimate
+/// writes (which *overwrite* injected corruption) from client reads (which
+/// *consume* it). The audit subsystem does not use this; it exists purely
+/// for experiment accounting.
+class RegionObserver {
+ public:
+  virtual ~RegionObserver() = default;
+  /// A client/API write replaced `len` bytes at `offset` with known-good data.
+  virtual void on_legitimate_write(std::size_t offset, std::size_t len) = 0;
+  /// Client `pid` read `len` bytes at `offset` through the API.
+  virtual void on_client_read(sim::ProcessId pid, std::size_t offset,
+                              std::size_t len) = 0;
+};
+
+/// Redundant per-record metadata (§4.3.3): identifies the misbehaving
+/// database client and enables preemptive termination during semantic
+/// recovery. Lives outside the region so corruption injection cannot
+/// touch it (matching "adding redundancy without modifying the original
+/// database structure").
+struct RecordMeta {
+  sim::ProcessId last_writer = sim::kNoProcess;
+  std::uint32_t last_writer_thread = 0;  ///< client thread within the process
+  sim::Time last_access = 0;
+  std::uint32_t access_count = 0;
+};
+
+/// Per-table runtime statistics feeding prioritized audit triggering
+/// (§4.4.1): access frequency and recent error history.
+struct TableStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t errors_detected_total = 0;
+  std::uint64_t errors_last_cycle = 0;
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return reads + writes; }
+};
+
+/// Table lock state. The API acquires/releases locks transparently; a
+/// crashed client leaves its lock held, which the progress-indicator
+/// element detects and recovers (§4.2).
+struct LockInfo {
+  sim::ProcessId owner = sim::kNoProcess;
+  sim::Time since = 0;
+};
+
+class Database {
+ public:
+  /// `populate` (optional) runs after the region is formatted and before
+  /// the pristine disk image is snapshotted — use it to fill static tables
+  /// with their real (distinct) configuration values so the golden
+  /// checksum covers meaningful data.
+  using PopulateFn =
+      std::function<void(std::span<std::byte>, const Schema&, const Layout&)>;
+  explicit Database(Schema schema, const PopulateFn& populate = {});
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  [[nodiscard]] const Schema& schema() const noexcept { return schema_; }
+  [[nodiscard]] const Layout& layout() const noexcept { return layout_; }
+
+  /// The live region. The audit subsystem reads it via direct memory
+  /// access, bypassing the API and its locks (§4, Figure 1).
+  [[nodiscard]] std::span<std::byte> region() noexcept { return region_; }
+  [[nodiscard]] std::span<const std::byte> region() const noexcept { return region_; }
+
+  /// Pristine startup image ("disk"). Recovery reloads come from here.
+  [[nodiscard]] std::span<const std::byte> pristine() const noexcept {
+    return pristine_;
+  }
+
+  /// Reloads the whole region from disk (structural-damage recovery,
+  /// §4.3.2 — all dynamic state is lost, dropping active calls).
+  void reload_all_from_disk() noexcept;
+
+  /// Reloads `[offset, offset+len)` from disk (static-data recovery,
+  /// §4.3.1 — "reload the affected portion from permanent storage").
+  void reload_span_from_disk(std::size_t offset, std::size_t len) noexcept;
+
+  /// Reloads just the catalog bytes.
+  void reload_catalog_from_disk() noexcept;
+
+  /// Installs `bytes` as both the live region and the pristine disk image
+  /// (the boot-from-permanent-storage path). Fails on size mismatch or if
+  /// the image's catalog does not decode.
+  bool install_image(std::span<const std::byte> bytes);
+
+  /// Byte spans holding static data: the serialized catalog plus every
+  /// record of every static table. This is the golden-checksum coverage
+  /// (§4.3.1).
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> static_spans() const;
+
+  // --- locks ---
+  /// Acquires table `t` for `pid`; false if held by another process.
+  /// Re-acquisition by the owner is idempotent.
+  bool try_lock(TableId t, sim::ProcessId pid, sim::Time now) noexcept;
+  /// Releases table `t` if held by `pid`.
+  bool unlock(TableId t, sim::ProcessId pid) noexcept;
+  /// Releases every lock held by `pid` (crash cleanup by recovery actions).
+  void release_locks_of(sim::ProcessId pid) noexcept;
+  [[nodiscard]] std::optional<LockInfo> lock_info(TableId t) const noexcept;
+  /// All currently held locks (progress-indicator recovery scans these).
+  [[nodiscard]] std::vector<std::pair<TableId, LockInfo>> held_locks() const;
+
+  // --- redundant metadata & statistics (audit-framework additions) ---
+  [[nodiscard]] RecordMeta& record_meta(TableId t, RecordIndex r);
+  [[nodiscard]] const RecordMeta& record_meta(TableId t, RecordIndex r) const;
+  [[nodiscard]] TableStats& table_stats(TableId t) { return table_stats_.at(t); }
+  [[nodiscard]] const TableStats& table_stats(TableId t) const {
+    return table_stats_.at(t);
+  }
+  [[nodiscard]] std::size_t table_count() const noexcept {
+    return schema_.tables.size();
+  }
+
+  // --- experiment oracle hook ---
+  void set_observer(RegionObserver* observer) noexcept { observer_ = observer; }
+  [[nodiscard]] RegionObserver* observer() const noexcept { return observer_; }
+
+ private:
+  Schema schema_;
+  Layout layout_;
+  std::vector<std::byte> region_;
+  std::vector<std::byte> pristine_;
+  std::vector<std::optional<LockInfo>> locks_;        // per table
+  std::vector<std::vector<RecordMeta>> record_meta_;  // [table][record]
+  std::vector<TableStats> table_stats_;               // per table
+  RegionObserver* observer_ = nullptr;
+};
+
+}  // namespace wtc::db

@@ -1,0 +1,43 @@
+// Direct-memory-access operations on the database region.
+//
+// The audit process accesses the database directly rather than through the
+// DB API (Figure 1) — "bypassing the locking and access control mechanisms
+// managed by the API". These helpers are that direct path; the API reuses
+// the relink routine so both sides maintain the identical structural
+// invariant.
+#pragma once
+
+#include "db/database.hpp"
+
+namespace wtc::db::direct {
+
+/// Rebuilds the `next` links of every record of table `t` so each group's
+/// chain lists its records in index order (the structural invariant the
+/// structural audit verifies). Records with out-of-range group values are
+/// left unlinked.
+void relink_table(Database& db, TableId t);
+
+/// Frees record `r` of table `t` in place: status Free, group 0 (free
+/// list), fields reset to catalog defaults, chains relinked. This is the
+/// audit's "record is freed as a preemptive measure" recovery (§4.3.1) and
+/// the zombie-record recovery of the semantic audit (§4.3.3).
+void free_record(Database& db, TableId t, RecordIndex r);
+
+/// Repairs record `r`'s header in place: id_tag recomputed from the
+/// offset, invalid status downgraded to Free (dropping the record),
+/// invalid group reset to the free list; chains relinked.
+void repair_header(Database& db, TableId t, RecordIndex r);
+
+/// Writes `value` into a field directly (range-audit "reset the field to
+/// its default value" recovery).
+void write_field(Database& db, TableId t, RecordIndex r, FieldId f,
+                 std::int32_t value);
+
+/// Reads a field directly (no locks, no API accounting).
+[[nodiscard]] std::int32_t read_field(const Database& db, TableId t, RecordIndex r,
+                                      FieldId f);
+
+/// Reads a record header directly.
+[[nodiscard]] RecordHeader read_header(const Database& db, TableId t, RecordIndex r);
+
+}  // namespace wtc::db::direct

@@ -1,0 +1,107 @@
+#include "db/disk.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/crc32.hpp"
+
+namespace wtc::db {
+namespace {
+
+constexpr std::uint32_t kImageMagic = 0xD15C1A6Eu;
+constexpr std::uint32_t kImageVersion = 1;
+constexpr std::size_t kImageHeaderBytes = 16;
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t value) {
+  const auto* bytes = reinterpret_cast<const std::byte*>(&value);
+  out.insert(out.end(), bytes, bytes + 4);
+}
+
+std::uint32_t get_u32(const std::vector<std::byte>& in, std::size_t offset) {
+  std::uint32_t value = 0;
+  std::memcpy(&value, in.data() + offset, 4);
+  return value;
+}
+
+DiskResult fail(std::string message) {
+  return DiskResult{false, std::move(message)};
+}
+
+DiskResult read_and_check(const std::filesystem::path& path,
+                          std::vector<std::byte>& payload) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return fail("cannot open " + path.string());
+  }
+  const std::streamsize file_size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> raw(static_cast<std::size_t>(std::max<std::streamsize>(
+      file_size, 0)));
+  if (!raw.empty() &&
+      !in.read(reinterpret_cast<char*>(raw.data()), file_size)) {
+    return fail("cannot read " + path.string());
+  }
+  if (raw.size() < kImageHeaderBytes) {
+    return fail("image truncated: " + path.string());
+  }
+  if (get_u32(raw, 0) != kImageMagic) {
+    return fail("not a database image: " + path.string());
+  }
+  if (get_u32(raw, 4) != kImageVersion) {
+    return fail("unsupported image version");
+  }
+  const std::uint32_t size = get_u32(raw, 8);
+  const std::uint32_t crc = get_u32(raw, 12);
+  if (raw.size() != kImageHeaderBytes + size) {
+    return fail("image size mismatch");
+  }
+  payload.assign(raw.begin() + kImageHeaderBytes, raw.end());
+  if (common::crc32(payload) != crc) {
+    return fail("image checksum mismatch (permanent storage corrupted)");
+  }
+  return DiskResult{true, {}};
+}
+
+}  // namespace
+
+DiskResult save_image(const Database& db, const std::filesystem::path& path) {
+  const auto pristine = db.pristine();
+  std::vector<std::byte> out;
+  out.reserve(kImageHeaderBytes + pristine.size());
+  put_u32(out, kImageMagic);
+  put_u32(out, kImageVersion);
+  put_u32(out, static_cast<std::uint32_t>(pristine.size()));
+  put_u32(out, common::crc32(pristine));
+  out.insert(out.end(), pristine.begin(), pristine.end());
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return fail("cannot write " + path.string());
+  }
+  file.write(reinterpret_cast<const char*>(out.data()),
+             static_cast<std::streamsize>(out.size()));
+  if (!file.good()) {
+    return fail("short write to " + path.string());
+  }
+  return DiskResult{true, {}};
+}
+
+DiskResult load_image(Database& db, const std::filesystem::path& path) {
+  std::vector<std::byte> payload;
+  if (auto checked = read_and_check(path, payload); !checked) {
+    return checked;
+  }
+  if (!db.install_image(payload)) {
+    return fail("image does not match this database's schema/layout");
+  }
+  return DiskResult{true, {}};
+}
+
+DiskResult verify_image(const std::filesystem::path& path) {
+  std::vector<std::byte> payload;
+  return read_and_check(path, payload);
+}
+
+}  // namespace wtc::db

@@ -1,0 +1,43 @@
+// File-backed disk image of the database region.
+//
+// The controller loads its entire database from disk into memory at
+// startup and keeps it there (§3.1.2); recovery reloads corrupted portions
+// "from permanent storage" (§4.3.1). In the simulation the pristine
+// snapshot plays the disk; this module provides the actual permanent
+// storage: a checksummed image file the snapshot can be persisted to and
+// restored from across process lifetimes.
+//
+// Image format: {magic, version, size, crc32} header + raw region bytes.
+// Loads verify size and checksum, so a corrupted image is rejected rather
+// than silently booting a damaged controller.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "db/database.hpp"
+
+namespace wtc::db {
+
+/// Result of a disk-image operation; `ok()` or a human-readable error.
+struct DiskResult {
+  bool success = false;
+  std::string error;
+
+  [[nodiscard]] explicit operator bool() const noexcept { return success; }
+};
+
+/// Writes the database's PRISTINE image to `path` (the startup state is
+/// what "permanent storage" holds; live dynamic state is never persisted).
+DiskResult save_image(const Database& db, const std::filesystem::path& path);
+
+/// Verifies and loads the image at `path` into the live region AND makes
+/// it the recovery source — the boot-from-disk path. Fails (and leaves the
+/// database untouched) on size mismatch or checksum failure.
+DiskResult load_image(Database& db, const std::filesystem::path& path);
+
+/// Verifies an image file without loading it (integrity check of the
+/// permanent storage itself).
+DiskResult verify_image(const std::filesystem::path& path);
+
+}  // namespace wtc::db

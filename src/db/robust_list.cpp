@@ -1,0 +1,274 @@
+#include "db/robust_list.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+namespace wtc::db {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x0B057113u;
+
+// Header field offsets.
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffCount = 4;
+constexpr std::size_t kOffHead = 8;
+constexpr std::size_t kOffTail = 12;
+
+}  // namespace
+
+RobustList::RobustList(std::span<std::byte> storage, std::uint32_t capacity)
+    : storage_(storage), capacity_(capacity) {}
+
+std::uint32_t RobustList::load_u32_at(std::size_t offset) const {
+  std::uint32_t v = 0;
+  std::memcpy(&v, storage_.data() + offset, sizeof(v));
+  return v;
+}
+
+void RobustList::store_u32_at(std::size_t offset, std::uint32_t value) {
+  std::memcpy(storage_.data() + offset, &value, sizeof(value));
+}
+
+RobustList::Node RobustList::load_node(std::uint32_t slot) const {
+  const std::size_t at = kHeaderBytes + static_cast<std::size_t>(slot) * kNodeBytes;
+  return Node{load_u32_at(at), load_u32_at(at + 4), load_u32_at(at + 8)};
+}
+
+void RobustList::store_node(std::uint32_t slot, const Node& node) {
+  const std::size_t at = kHeaderBytes + static_cast<std::size_t>(slot) * kNodeBytes;
+  store_u32_at(at, node.tag);
+  store_u32_at(at + 4, node.prev);
+  store_u32_at(at + 8, node.next);
+}
+
+void RobustList::format() {
+  store_u32_at(kOffMagic, kMagic);
+  store_u32_at(kOffCount, 0);
+  store_u32_at(kOffHead, kNil);
+  store_u32_at(kOffTail, kNil);
+  for (std::uint32_t slot = 0; slot < capacity_; ++slot) {
+    store_node(slot, Node{expected_tag(slot), kNil, kNil});
+  }
+}
+
+std::uint32_t RobustList::count() const noexcept { return load_u32_at(kOffCount); }
+std::uint32_t RobustList::head() const noexcept { return load_u32_at(kOffHead); }
+std::uint32_t RobustList::tail() const noexcept { return load_u32_at(kOffTail); }
+
+bool RobustList::contains(std::uint32_t slot) const {
+  if (slot >= capacity_) {
+    return false;
+  }
+  const Node node = load_node(slot);
+  return node.prev != kNil || node.next != kNil || head() == slot;
+}
+
+bool RobustList::push_back(std::uint32_t slot) {
+  if (slot >= capacity_ || contains(slot)) {
+    return false;
+  }
+  const std::uint32_t old_tail = tail();
+  store_node(slot, Node{expected_tag(slot), old_tail, kNil});
+  if (old_tail == kNil) {
+    store_u32_at(kOffHead, slot);
+  } else {
+    Node t = load_node(old_tail);
+    t.next = slot;
+    store_node(old_tail, t);
+  }
+  store_u32_at(kOffTail, slot);
+  store_u32_at(kOffCount, count() + 1);
+  return true;
+}
+
+bool RobustList::remove(std::uint32_t slot) {
+  if (slot >= capacity_ || !contains(slot)) {
+    return false;
+  }
+  const Node node = load_node(slot);
+  if (node.prev != kNil) {
+    Node p = load_node(node.prev);
+    p.next = node.next;
+    store_node(node.prev, p);
+  } else {
+    store_u32_at(kOffHead, node.next);
+  }
+  if (node.next != kNil) {
+    Node n = load_node(node.next);
+    n.prev = node.prev;
+    store_node(node.next, n);
+  } else {
+    store_u32_at(kOffTail, node.prev);
+  }
+  store_node(slot, Node{expected_tag(slot), kNil, kNil});
+  store_u32_at(kOffCount, count() - 1);
+  return true;
+}
+
+std::vector<std::uint32_t> RobustList::forward_chain() const {
+  std::vector<std::uint32_t> chain;
+  std::unordered_set<std::uint32_t> seen;
+  std::uint32_t cursor = head();
+  while (cursor != kNil && cursor < capacity_ && !seen.contains(cursor) &&
+         chain.size() <= capacity_) {
+    chain.push_back(cursor);
+    seen.insert(cursor);
+    cursor = load_node(cursor).next;
+  }
+  return chain;
+}
+
+std::vector<std::uint32_t> RobustList::backward_chain() const {
+  std::vector<std::uint32_t> chain;
+  std::unordered_set<std::uint32_t> seen;
+  std::uint32_t cursor = tail();
+  while (cursor != kNil && cursor < capacity_ && !seen.contains(cursor) &&
+         chain.size() <= capacity_) {
+    chain.push_back(cursor);
+    seen.insert(cursor);
+    cursor = load_node(cursor).prev;
+  }
+  return chain;
+}
+
+std::optional<std::vector<std::uint32_t>> RobustList::reconstruct_sequence() const {
+  // Walk both directions. A walk is "proper" if it terminated by reaching
+  // kNil (not by a revisit, an out-of-range slot, or the length bound).
+  const auto walk = [&](std::uint32_t start, bool forward) {
+    std::pair<std::vector<std::uint32_t>, bool> result;
+    auto& [chain, proper] = result;
+    std::unordered_set<std::uint32_t> seen;
+    std::uint32_t cursor = start;
+    while (true) {
+      if (cursor == kNil) {
+        proper = true;
+        break;
+      }
+      if (cursor >= capacity_ || seen.contains(cursor) ||
+          chain.size() > capacity_) {
+        proper = false;
+        break;
+      }
+      chain.push_back(cursor);
+      seen.insert(cursor);
+      const Node node = load_node(cursor);
+      cursor = forward ? node.next : node.prev;
+    }
+    return result;
+  };
+
+  auto [fwd, fwd_proper] = walk(head(), /*forward=*/true);
+  auto [bwd, bwd_proper] = walk(tail(), /*forward=*/false);
+  std::vector<std::uint32_t> bwd_rev(bwd.rbegin(), bwd.rend());
+  const std::uint32_t declared = count();
+
+  if (fwd_proper && bwd_proper && fwd == bwd_rev) {
+    return fwd;  // chains agree; count/tags are fixed by rewrite if needed
+  }
+
+  // Edge-agreement score: how many of a chain's links are confirmed by the
+  // opposite-direction pointer (the corrupted direction scores lower).
+  const auto score = [&](const std::vector<std::uint32_t>& sequence) {
+    std::uint32_t agreements = 0;
+    for (std::size_t i = 0; i + 1 < sequence.size(); ++i) {
+      const Node a = load_node(sequence[i]);
+      const Node b = load_node(sequence[i + 1]);
+      if (a.next == sequence[i + 1] && b.prev == sequence[i]) {
+        ++agreements;
+      }
+    }
+    return agreements;
+  };
+
+  const bool fwd_candidate = fwd_proper && fwd.size() == declared;
+  const bool bwd_candidate = bwd_proper && bwd_rev.size() == declared;
+  if (fwd_candidate && bwd_candidate) {
+    return score(fwd) >= score(bwd_rev) ? fwd : bwd_rev;
+  }
+  if (fwd_candidate) {
+    return fwd;
+  }
+  if (bwd_candidate) {
+    return bwd_rev;
+  }
+
+  // Splice: a single interior pointer corruption leaves an intact forward
+  // prefix and an intact backward suffix that partition the membership.
+  if (!fwd.empty() || !bwd.empty()) {
+    std::unordered_set<std::uint32_t> fwd_set(fwd.begin(), fwd.end());
+    // Trim the backward walk to the part disjoint from the forward prefix.
+    std::vector<std::uint32_t> suffix;
+    for (const std::uint32_t slot : bwd) {
+      if (fwd_set.contains(slot)) {
+        break;
+      }
+      suffix.push_back(slot);
+    }
+    std::vector<std::uint32_t> spliced = fwd;
+    spliced.insert(spliced.end(), suffix.rbegin(), suffix.rend());
+    if (spliced.size() == declared) {
+      return spliced;
+    }
+  }
+  return std::nullopt;  // more damage than one field: uncorrectable
+}
+
+std::uint32_t RobustList::rewrite(const std::vector<std::uint32_t>& sequence) {
+  std::uint32_t changed = 0;
+  const auto put_u32 = [&](std::size_t offset, std::uint32_t value) {
+    if (load_u32_at(offset) != value) {
+      ++changed;
+      store_u32_at(offset, value);
+    }
+  };
+  put_u32(kOffMagic, kMagic);
+  put_u32(kOffCount, static_cast<std::uint32_t>(sequence.size()));
+  put_u32(kOffHead, sequence.empty() ? kNil : sequence.front());
+  put_u32(kOffTail, sequence.empty() ? kNil : sequence.back());
+
+  std::unordered_set<std::uint32_t> members(sequence.begin(), sequence.end());
+  for (std::uint32_t slot = 0; slot < capacity_; ++slot) {
+    if (!members.contains(slot)) {
+      const Node node = load_node(slot);
+      const Node want{expected_tag(slot), kNil, kNil};
+      if (node.tag != want.tag || node.prev != want.prev ||
+          node.next != want.next) {
+        changed += static_cast<std::uint32_t>(node.tag != want.tag) +
+                   static_cast<std::uint32_t>(node.prev != want.prev) +
+                   static_cast<std::uint32_t>(node.next != want.next);
+        store_node(slot, want);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    const std::uint32_t slot = sequence[i];
+    const Node node = load_node(slot);
+    const Node want{expected_tag(slot), i == 0 ? kNil : sequence[i - 1],
+                    i + 1 == sequence.size() ? kNil : sequence[i + 1]};
+    if (node.tag != want.tag || node.prev != want.prev || node.next != want.next) {
+      changed += static_cast<std::uint32_t>(node.tag != want.tag) +
+                 static_cast<std::uint32_t>(node.prev != want.prev) +
+                 static_cast<std::uint32_t>(node.next != want.next);
+      store_node(slot, want);
+    }
+  }
+  return changed;
+}
+
+RobustAuditResult RobustList::audit() {
+  RobustAuditResult result;
+  const auto sequence = reconstruct_sequence();
+  if (!sequence) {
+    result.errors_detected = 1;  // structural damage found, beyond repair
+    result.structure_valid = false;
+    return result;
+  }
+  const std::uint32_t changed = rewrite(*sequence);
+  result.errors_detected = changed;
+  result.errors_corrected = changed;
+  result.structure_valid = true;
+  return result;
+}
+
+}  // namespace wtc::db

@@ -1,0 +1,115 @@
+// Robust doubly-linked list — the storage structure the paper's footnote 3
+// points at but the production controller did not adopt:
+//
+//   "The use of doubly linked list as the data structure for logical
+//    groups within the database can allow single pointer corruption to be
+//    detected and corrected using robust data structure techniques (e.g.,
+//    traversing the list of table records in both directions and making
+//    proper pointer adjustments) [SET85]."
+//
+// This module implements that technique (Taylor/Black/Morgan-style
+// redundancy [TAY80a/b, SET85]): each node carries BOTH links plus an
+// identifier tag, and the header carries head, tail, and a count. The
+// structure is 2-detectable / 1-correctable: any single corrupted field
+// (a pointer, a tag, the head/tail, or the count) is detected by a
+// two-direction traversal and corrected from the surviving redundancy.
+//
+// The list is serialized into caller-provided storage (like the record
+// headers inside the database region), so corruption injection exercises
+// it the same way it exercises the rest of the region.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace wtc::db {
+
+/// Audit outcome of one robust-list check (§ footnote 3's technique).
+struct RobustAuditResult {
+  std::uint32_t errors_detected = 0;
+  std::uint32_t errors_corrected = 0;
+  bool structure_valid = false;  ///< list is consistent after the audit
+
+  [[nodiscard]] bool clean() const noexcept {
+    return structure_valid && errors_detected == 0;
+  }
+};
+
+/// A doubly-linked list over `capacity` fixed slots, serialized in a
+/// caller-provided byte buffer.
+///
+/// Layout: header {magic, count, head, tail} followed by per-slot nodes
+/// {tag, prev, next}. Slot indexes are 32-bit; kNil terminates.
+class RobustList {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::size_t kHeaderBytes = 16;
+  static constexpr std::size_t kNodeBytes = 12;
+
+  /// Bytes required for a list over `capacity` slots.
+  [[nodiscard]] static std::size_t storage_bytes(std::uint32_t capacity) noexcept {
+    return kHeaderBytes + static_cast<std::size_t>(capacity) * kNodeBytes;
+  }
+
+  /// Binds to `storage` (unformatted or previously formatted).
+  RobustList(std::span<std::byte> storage, std::uint32_t capacity);
+
+  /// Formats the storage as an empty list.
+  void format();
+
+  // --- mutation (maintains full redundancy) ---
+  /// Appends `slot` at the tail. Returns false if already a member or out
+  /// of range.
+  bool push_back(std::uint32_t slot);
+  /// Unlinks `slot`. Returns false if not currently a member.
+  bool remove(std::uint32_t slot);
+
+  // --- queries ---
+  [[nodiscard]] std::uint32_t count() const noexcept;
+  [[nodiscard]] std::uint32_t head() const noexcept;
+  [[nodiscard]] std::uint32_t tail() const noexcept;
+  [[nodiscard]] bool contains(std::uint32_t slot) const;
+  /// Forward traversal (bounded); stops early on breakage.
+  [[nodiscard]] std::vector<std::uint32_t> forward_chain() const;
+  /// Backward traversal via prev links.
+  [[nodiscard]] std::vector<std::uint32_t> backward_chain() const;
+
+  /// The robust-structure audit: traverses both directions, detects
+  /// inconsistencies, and corrects any single corrupted field in place.
+  /// Multi-error damage is detected (structure_valid=false) even when it
+  /// cannot be corrected.
+  RobustAuditResult audit();
+
+  /// Expected tag of slot `i` (exact-valued, like the record id_tag).
+  [[nodiscard]] static std::uint32_t expected_tag(std::uint32_t slot) noexcept {
+    return 0x0B157A60u ^ slot;
+  }
+
+ private:
+  struct Node {
+    std::uint32_t tag;
+    std::uint32_t prev;
+    std::uint32_t next;
+  };
+
+  [[nodiscard]] Node load_node(std::uint32_t slot) const;
+  void store_node(std::uint32_t slot, const Node& node);
+  [[nodiscard]] std::uint32_t load_u32_at(std::size_t offset) const;
+  void store_u32_at(std::size_t offset, std::uint32_t value);
+
+  /// Attempts to derive the full member sequence from the surviving
+  /// redundancy; nullopt if more than one field is damaged beyond repair.
+  [[nodiscard]] std::optional<std::vector<std::uint32_t>> reconstruct_sequence()
+      const;
+  /// Rewrites header + every member node to encode `sequence` exactly;
+  /// returns the number of fields that changed.
+  std::uint32_t rewrite(const std::vector<std::uint32_t>& sequence);
+
+  std::span<std::byte> storage_;
+  std::uint32_t capacity_;
+};
+
+}  // namespace wtc::db

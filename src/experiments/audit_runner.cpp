@@ -1,0 +1,149 @@
+#include "experiments/audit_runner.hpp"
+
+#include "manager/manager.hpp"
+#include "sim/cpu.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wtc::experiments {
+
+AuditRunResult run_audit_experiment(const AuditRunParams& params) {
+  sim::Scheduler scheduler;
+  sim::Node node(scheduler);
+  sim::Cpu cpu;
+  common::Rng rng(params.seed);
+
+  auto database = db::make_controller_database(params.schema);
+  db::Database& db = *database;
+  const auto ids = db::resolve_controller_ids(db.schema());
+
+  inject::CorruptionOracle oracle(db, [&scheduler]() { return scheduler.now(); });
+  db.set_observer(&oracle);
+
+  callproc::ClientDirectory directory(node, db);
+
+  // Audit process under manager supervision (Figure 1).
+  sim::ProcessId audit_pid = sim::kNoProcess;
+  std::shared_ptr<manager::Manager> mgr;
+  const auto spawn_audit = [&]() {
+    auto process = std::make_shared<audit::AuditProcess>(db, cpu, params.audit,
+                                                         &oracle, &directory);
+    audit_pid = node.spawn("audit", process);
+    return audit_pid;
+  };
+  if (params.audits_enabled) {
+    if (params.with_manager) {
+      mgr = std::make_shared<manager::Manager>(spawn_audit);
+      node.spawn("manager", mgr);
+    } else {
+      spawn_audit();
+    }
+  }
+
+  audit::IpcNotificationSink sink(node, [&audit_pid]() { return audit_pid; });
+
+  auto client = std::make_shared<callproc::NativeCallClient>(
+      db, ids, cpu, rng.fork(1), params.client,
+      params.audits_enabled ? &sink : nullptr);
+  const sim::ProcessId client_pid = node.spawn("client", client);
+  directory.register_client(client_pid, client.get());
+
+  auto injector = std::make_shared<inject::DbErrorInjector>(
+      db, oracle, rng.fork(2), params.injector);
+  node.spawn("injector", injector);
+
+  scheduler.run_until(static_cast<sim::Time>(params.duration));
+
+  AuditRunResult result;
+  result.oracle = oracle.summary();
+  result.injections = oracle.records();
+  result.client = client->stats();
+  result.audit_findings = oracle.audit_findings();
+  result.manager_restarts = mgr ? mgr->restarts() : 0;
+  result.avg_setup_ms = client->stats().setup_time_ms.mean();
+  if (params.audits_enabled && node.alive(audit_pid)) {
+    if (auto process = node.find(audit_pid)) {
+      result.audit_cycles =
+          static_cast<audit::AuditProcess*>(process.get())->cycles();
+    }
+  }
+  return result;
+}
+
+ErrorBreakdown classify_injections(
+    const std::vector<inject::InjectionRecord>& injections) {
+  ErrorBreakdown b;
+  for (const auto& record : injections) {
+    const bool caught = record.fate == inject::ErrorFate::Caught;
+    const bool escaped = record.fate == inject::ErrorFate::Escaped;
+    if (!caught && !escaped) {
+      ++b.no_effect;
+      continue;
+    }
+    switch (record.kind) {
+      case inject::TargetKind::Catalog:
+      case inject::TargetKind::StaticTable:
+        caught ? ++b.static_detected : ++b.static_escaped;
+        break;
+      case inject::TargetKind::RecordHeader:
+        caught ? ++b.structural_detected : ++b.structural_escaped;
+        break;
+      case inject::TargetKind::RangedField:
+      case inject::TargetKind::KeyField:
+        if (caught) {
+          // Attribute to the technique that actually fired.
+          if (record.caught_by == audit::Technique::SemanticCheck ||
+              record.caught_by == audit::Technique::SelectiveMonitor) {
+            ++b.dynamic_semantic_detected;
+          } else {
+            ++b.dynamic_range_detected;
+          }
+        } else {
+          ++b.dynamic_escaped_timing;  // a rule existed; the audit was late
+        }
+        break;
+      case inject::TargetKind::UnruledField:
+        if (caught) {
+          if (record.caught_by == audit::Technique::RangeCheck ||
+              record.caught_by == audit::Technique::StructuralCheck ||
+              record.caught_by == audit::Technique::StaticChecksum) {
+            ++b.dynamic_range_detected;  // collateral recovery localized it
+          } else {
+            ++b.dynamic_semantic_detected;
+          }
+        } else {
+          ++b.dynamic_escaped_no_rule;
+        }
+        break;
+    }
+  }
+  return b;
+}
+
+AggregateAuditResult run_audit_series(AuditRunParams params, std::size_t runs) {
+  AggregateAuditResult aggregate;
+  for (std::size_t i = 0; i < runs; ++i) {
+    params.seed = params.seed * 6364136223846793005ull + 1442695040888963407ull;
+    const AuditRunResult run = run_audit_experiment(params);
+    aggregate.injected += run.oracle.injected;
+    aggregate.escaped += run.oracle.escaped;
+    aggregate.caught += run.oracle.caught;
+    aggregate.no_effect += run.oracle.no_effect();
+    aggregate.setup_ms.add(run.avg_setup_ms);
+    if (run.oracle.detection_latency_s.count() > 0) {
+      aggregate.detection_latency_s.add(run.oracle.detection_latency_s.mean());
+    }
+    const ErrorBreakdown b = classify_injections(run.injections);
+    aggregate.breakdown.structural_detected += b.structural_detected;
+    aggregate.breakdown.structural_escaped += b.structural_escaped;
+    aggregate.breakdown.static_detected += b.static_detected;
+    aggregate.breakdown.static_escaped += b.static_escaped;
+    aggregate.breakdown.dynamic_range_detected += b.dynamic_range_detected;
+    aggregate.breakdown.dynamic_semantic_detected += b.dynamic_semantic_detected;
+    aggregate.breakdown.dynamic_escaped_timing += b.dynamic_escaped_timing;
+    aggregate.breakdown.dynamic_escaped_no_rule += b.dynamic_escaped_no_rule;
+    aggregate.breakdown.no_effect += b.no_effect;
+  }
+  return aggregate;
+}
+
+}  // namespace wtc::experiments

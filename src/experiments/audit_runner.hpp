@@ -1,0 +1,82 @@
+// Experiment runner for the audit-effectiveness evaluations:
+// Table 3 / Table 4 / Figure 3 (§5.1) and the ablations built on the same
+// environment (event-triggered audit, audit-period sensitivity, selective
+// monitoring).
+//
+// Environment (Figure 1): controller database + audit process under a
+// heartbeat-monitored manager + the multi-threaded native call-processing
+// client + the database bit-flip injector, all on one simulated node
+// sharing one CPU.
+#pragma once
+
+#include <vector>
+
+#include "audit/process.hpp"
+#include "callproc/native_client.hpp"
+#include "db/controller_schema.hpp"
+#include "inject/db_injector.hpp"
+#include "inject/oracle.hpp"
+
+namespace wtc::experiments {
+
+struct AuditRunParams {
+  /// Table 2 defaults.
+  sim::Duration duration = 2000 * static_cast<sim::Duration>(sim::kSecond);
+  bool audits_enabled = true;
+  bool with_manager = true;
+  callproc::CallClientConfig client;
+  inject::DbInjectorConfig injector;
+  audit::AuditProcessConfig audit;
+  db::ControllerSchemaParams schema;
+  std::uint64_t seed = 1;
+};
+
+struct AuditRunResult {
+  inject::OracleSummary oracle;
+  std::vector<inject::InjectionRecord> injections;
+  callproc::NativeCallClient::Stats client;
+  std::uint64_t audit_cycles = 0;
+  std::uint64_t audit_findings = 0;
+  std::uint32_t manager_restarts = 0;
+  double avg_setup_ms = 0.0;
+};
+
+[[nodiscard]] AuditRunResult run_audit_experiment(const AuditRunParams& params);
+
+/// Table 4's row structure: per-error-type detection/escape accounting.
+struct ErrorBreakdown {
+  std::size_t structural_detected = 0;
+  std::size_t structural_escaped = 0;
+  std::size_t static_detected = 0;
+  std::size_t static_escaped = 0;
+  std::size_t dynamic_range_detected = 0;
+  std::size_t dynamic_semantic_detected = 0;
+  std::size_t dynamic_escaped_timing = 0;   ///< rule existed, audit was late
+  std::size_t dynamic_escaped_no_rule = 0;  ///< no enforceable rule
+  std::size_t no_effect = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return structural_detected + structural_escaped + static_detected +
+           static_escaped + dynamic_range_detected + dynamic_semantic_detected +
+           dynamic_escaped_timing + dynamic_escaped_no_rule + no_effect;
+  }
+};
+
+[[nodiscard]] ErrorBreakdown classify_injections(
+    const std::vector<inject::InjectionRecord>& injections);
+
+/// Aggregates several runs (the paper uses 30) of the same configuration.
+struct AggregateAuditResult {
+  std::size_t injected = 0;
+  std::size_t escaped = 0;
+  std::size_t caught = 0;
+  std::size_t no_effect = 0;
+  common::RunningStats setup_ms;
+  common::RunningStats detection_latency_s;
+  ErrorBreakdown breakdown;
+};
+
+[[nodiscard]] AggregateAuditResult run_audit_series(AuditRunParams params,
+                                                    std::size_t runs);
+
+}  // namespace wtc::experiments

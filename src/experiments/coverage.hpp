@@ -1,0 +1,48 @@
+// Table-10 system-wide coverage arithmetic (§6.1.4).
+//
+// Coverage = 100% - (SystemDetection + FailSilenceViolation + Hang)% for
+// client-targeted errors, 100% - escaped% for database-targeted errors,
+// and the weighted mix for the paper's assumed 25% client / 75% database
+// error distribution (derived from the relative sizes of the client text
+// segment and the database memory image).
+#pragma once
+
+#include <array>
+
+namespace wtc::experiments {
+
+/// Percentages, one per configuration in the paper's column order:
+/// {no protection, audit only, PECOS only, PECOS + audit}.
+using ConfigRow = std::array<double, 4>;
+
+struct CoverageInputs {
+  /// Client coverage per configuration (from Table-9-style campaigns).
+  ConfigRow client_coverage;
+  /// Database escaped-error percentage with and without audits (from the
+  /// Table-3 experiment). PECOS does not protect the database, so the
+  /// database row only depends on the audit axis.
+  double db_escaped_without_audit_pct = 63.0;
+  double db_escaped_with_audit_pct = 13.0;
+};
+
+struct Table10 {
+  ConfigRow client;
+  ConfigRow database;
+  ConfigRow mixed;
+};
+
+[[nodiscard]] inline Table10 compute_table10(const CoverageInputs& in,
+                                             double client_fraction = 0.25) {
+  Table10 out;
+  out.client = in.client_coverage;
+  const double db_without = 100.0 - in.db_escaped_without_audit_pct;
+  const double db_with = 100.0 - in.db_escaped_with_audit_pct;
+  out.database = {db_without, db_with, db_without, db_with};
+  for (std::size_t i = 0; i < 4; ++i) {
+    out.mixed[i] = client_fraction * out.client[i] +
+                   (1.0 - client_fraction) * out.database[i];
+  }
+  return out;
+}
+
+}  // namespace wtc::experiments

@@ -1,0 +1,164 @@
+#include "experiments/pecos_runner.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "callproc/control.hpp"
+#include "callproc/vm_driver.hpp"
+#include "callproc/vm_program.hpp"
+#include "db/controller_schema.hpp"
+#include "inject/oracle.hpp"
+#include "pecos/bssc.hpp"
+#include "pecos/monitor.hpp"
+#include "sim/cpu.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wtc::experiments {
+
+PecosRunResult run_pecos_single(const PecosRunParams& params) {
+  sim::Scheduler scheduler;
+  sim::Node node(scheduler);
+  sim::Cpu cpu;
+  common::Rng rng(params.seed);
+
+  auto database = db::make_controller_database();
+  db::Database& db = *database;
+  const auto ids = db::resolve_controller_ids(db.schema());
+
+  inject::CorruptionOracle oracle(db, [&scheduler]() { return scheduler.now(); });
+  db.set_observer(&oracle);
+  callproc::ClientDirectory directory(node, db);
+
+  // Audit process (no manager: these runs are short and the audit process
+  // itself is not an injection target here).
+  sim::ProcessId audit_pid = sim::kNoProcess;
+  std::shared_ptr<audit::AuditProcess> audit_process;
+  if (params.audit) {
+    audit::AuditProcessConfig audit_cfg;
+    audit_cfg.period = params.audit_period;
+    audit_cfg.event_triggered = true;
+    audit_cfg.progress_timeout = 5 * static_cast<sim::Duration>(sim::kSecond);
+    audit_cfg.engine.recent_write_grace =
+        100 * static_cast<sim::Duration>(sim::kMillisecond);
+    audit_process = std::make_shared<audit::AuditProcess>(db, cpu, audit_cfg,
+                                                          &oracle, &directory);
+    audit_pid = node.spawn("audit", audit_process);
+  }
+  audit::IpcNotificationSink sink(node, [&audit_pid]() { return audit_pid; });
+
+  // The MiniVM client, optionally instrumented with PECOS.
+  callproc::VmProgramParams prog_params;
+  prog_params.ids = ids;
+  prog_params.num_subscribers =
+      static_cast<std::int32_t>(db.schema().tables[ids.subscriber].num_records);
+  prog_params.calls_per_thread = params.calls_per_thread;
+  const vm::Program program = callproc::build_call_program(prog_params);
+
+  std::optional<pecos::Plan> plan;
+  std::optional<pecos::BsscPlan> bssc_plan;
+  std::unique_ptr<vm::ExecMonitor> monitor;
+  switch (params.cfc) {
+    case CfcMode::None:
+      break;
+    case CfcMode::Pecos:
+      plan.emplace(pecos::Plan::instrument(program));
+      monitor = std::make_unique<pecos::PecosMonitor>(*plan);
+      break;
+    case CfcMode::PostCheck:
+      plan.emplace(pecos::Plan::instrument(program));
+      monitor = std::make_unique<pecos::PostCheckMonitor>(*plan);
+      break;
+    case CfcMode::Bssc:
+      bssc_plan.emplace(pecos::BsscPlan::instrument(program));
+      monitor = std::make_unique<pecos::BsscMonitor>(*bssc_plan);
+      break;
+  }
+
+  callproc::VmDriverConfig driver_cfg;
+  driver_cfg.threads = params.threads;
+  auto driver = std::make_shared<callproc::VmClientDriver>(
+      program, db, cpu, rng.fork(7), driver_cfg,
+      params.audit ? &sink : nullptr, monitor.get());
+  const sim::ProcessId client_pid = node.spawn("client", driver);
+  directory.register_client(client_pid, driver.get());
+
+  inject::ClientErrorInjector injector(driver->vmp(), scheduler, rng.fork(9),
+                                       params.injector);
+  injector.arm();
+
+  const auto deadline = static_cast<sim::Time>(params.deadline);
+  while (!driver->finished() && scheduler.now() < deadline && scheduler.step()) {
+  }
+
+  // --- gather the run's evidence (Table 7) ---
+  inject::RunEvents events;
+  events.activated = injector.activated();
+  events.first_pecos = driver->first_pecos_time();
+  events.crash = driver->crash_time();
+  events.first_hang = driver->first_hang_time();
+  events.first_audit = oracle.first_finding_time();
+  if (!driver->finished()) {
+    // Ran out of virtual time without completing: the client is wedged.
+    const sim::Time t = scheduler.now();
+    if (!events.first_hang || *events.first_hang > t) {
+      events.first_hang = t;
+    }
+  }
+
+  std::unordered_set<std::uint32_t> succeeded;
+  for (const auto& emit : driver->vmp().emits()) {
+    if (emit.code == callproc::kEmitMismatch &&
+        (!events.first_fsv || emit.time < *events.first_fsv)) {
+      events.first_fsv = emit.time;
+    }
+    if (emit.code == callproc::kEmitAllDone) {
+      succeeded.insert(emit.thread);
+    }
+  }
+  events.all_threads_succeeded = succeeded.size() == params.threads;
+
+  PecosRunResult result;
+  result.outcome = inject::classify(events);
+  result.activated = events.activated;
+  result.activations = injector.activations();
+  result.pecos_detections = driver->pecos_detections();
+  result.crashed = driver->crashed();
+  result.audit_findings = oracle.audit_findings();
+  result.hung_threads = driver->hung_threads();
+  return result;
+}
+
+double CampaignCounts::coverage_percent() const {
+  const std::size_t act = activated();
+  if (act == 0) {
+    return 0.0;
+  }
+  const std::size_t uncovered = count(inject::Outcome::SystemDetection) +
+                                count(inject::Outcome::FailSilenceViolation) +
+                                count(inject::Outcome::ClientHang);
+  return 100.0 - 100.0 * static_cast<double>(uncovered) / static_cast<double>(act);
+}
+
+CampaignCounts run_pecos_campaign(PecosRunParams base, std::size_t runs_per_model) {
+  CampaignCounts counts;
+  const inject::ErrorModel models[] = {
+      inject::ErrorModel::ADDIF, inject::ErrorModel::DATAIF,
+      inject::ErrorModel::DATAOF, inject::ErrorModel::DATAInF};
+  const std::uint64_t base_seed = base.seed;
+  for (const auto model : models) {
+    base.injector.model = model;
+    for (std::size_t i = 0; i < runs_per_model; ++i) {
+      // Seeds depend only on (base seed, model, run index) so campaigns
+      // with different protection configurations inject the *same* error
+      // sequences — a paired comparison across the four columns.
+      std::uint64_t seed = base_seed ^ (static_cast<std::uint64_t>(model) << 32) ^
+                           (i * 0x9E3779B97F4A7C15ull);
+      seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+      base.seed = seed;
+      counts.add(run_pecos_single(base).outcome);
+    }
+  }
+  return counts;
+}
+
+}  // namespace wtc::experiments

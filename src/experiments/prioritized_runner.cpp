@@ -1,0 +1,84 @@
+#include "experiments/prioritized_runner.hpp"
+
+#include "inject/oracle.hpp"
+#include "sim/cpu.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wtc::experiments {
+
+PrioritizedRunResult run_prioritized_experiment(const PrioritizedRunParams& params) {
+  sim::Scheduler scheduler;
+  sim::Node node(scheduler);
+  sim::Cpu cpu;
+  common::Rng rng(params.seed);
+
+  db::Database db(db::make_bench_schema(params.schema));
+  db::activate_all_records(db);
+
+  inject::CorruptionOracle oracle(db, [&scheduler]() { return scheduler.now(); });
+  db.set_observer(&oracle);
+
+  audit::AuditProcessConfig audit_cfg;
+  audit_cfg.period = params.audit_tick;
+  audit_cfg.one_table_per_tick = true;
+  audit_cfg.prioritized = params.prioritized;
+  audit_cfg.weights = params.weights;
+  audit_cfg.heartbeat = false;
+  audit_cfg.progress_indicator = false;
+  audit_cfg.engine.semantic_check = false;  // the bench schema has no FK loops
+  audit_cfg.engine.static_check = false;    // nor static tables
+  audit_cfg.engine.recent_write_grace =
+      100 * static_cast<sim::Duration>(sim::kMillisecond);
+  // This experiment studies detection timing, not CPU contention; keep the
+  // modelled audit cost small so one 5 s tick never saturates the CPU even
+  // for the 125-unit table.
+  audit_cfg.engine.cost_scale = 0.2;
+  auto audit_process = std::make_shared<audit::AuditProcess>(
+      db, cpu, audit_cfg, &oracle, nullptr);
+  sim::ProcessId audit_pid = node.spawn("audit", audit_process);
+
+  audit::IpcNotificationSink sink(node, [audit_pid]() { return audit_pid; });
+  auto client = std::make_shared<callproc::EmulatedLoadClient>(
+      db, cpu, rng.fork(1), params.load, &sink);
+  node.spawn("client", client);
+
+  inject::DbInjectorConfig inj_cfg;
+  inj_cfg.inter_arrival = params.error_mtbf;
+  inj_cfg.arrival = params.arrival;
+  inj_cfg.distribution = params.distribution;
+  auto injector = std::make_shared<inject::DbErrorInjector>(db, oracle,
+                                                            rng.fork(2), inj_cfg);
+  node.spawn("injector", injector);
+
+  scheduler.run_until(static_cast<sim::Time>(params.duration));
+
+  const auto summary = oracle.summary();
+  PrioritizedRunResult result;
+  result.injected = summary.injected;
+  result.escaped = summary.escaped;
+  result.caught = summary.caught;
+  result.escaped_percent = common::percent(summary.escaped, summary.injected);
+  result.detection_latency_s = summary.detection_latency_s.mean();
+  return result;
+}
+
+PrioritizedRunResult run_prioritized_series(PrioritizedRunParams params,
+                                            std::size_t runs) {
+  PrioritizedRunResult total;
+  common::RunningStats latency;
+  for (std::size_t i = 0; i < runs; ++i) {
+    params.seed = params.seed * 2862933555777941757ull + 3037000493ull;
+    const auto run = run_prioritized_experiment(params);
+    total.injected += run.injected;
+    total.escaped += run.escaped;
+    total.caught += run.caught;
+    if (run.caught > 0) {
+      latency.add(run.detection_latency_s);
+    }
+  }
+  total.escaped_percent = common::percent(total.escaped, total.injected);
+  total.detection_latency_s = latency.mean();
+  return total;
+}
+
+}  // namespace wtc::experiments

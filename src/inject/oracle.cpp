@@ -1,0 +1,136 @@
+#include "inject/oracle.hpp"
+
+namespace wtc::inject {
+
+CorruptionOracle::CorruptionOracle(const db::Database& db,
+                                   std::function<sim::Time()> clock)
+    : db_(db), clock_(std::move(clock)) {}
+
+TargetKind CorruptionOracle::classify_offset(std::size_t offset) const {
+  const auto loc = db_.layout().locate(offset);
+  if (!loc) {
+    return TargetKind::Catalog;
+  }
+  const auto& spec = db_.schema().tables[loc->table];
+  if (!spec.dynamic) {
+    return TargetKind::StaticTable;
+  }
+  if (loc->in_header) {
+    return TargetKind::RecordHeader;
+  }
+  const std::size_t within =
+      offset - db_.layout().record_offset(loc->table, loc->record) -
+      db::kRecordHeaderSize;
+  const std::size_t field = within / 4;
+  if (field >= spec.fields.size()) {
+    return TargetKind::UnruledField;
+  }
+  const auto& fs = spec.fields[field];
+  if (fs.role != db::FieldRole::Plain) {
+    return TargetKind::KeyField;
+  }
+  return fs.has_range() ? TargetKind::RangedField : TargetKind::UnruledField;
+}
+
+std::uint64_t CorruptionOracle::record_injection(std::size_t offset,
+                                                 std::uint8_t bit) {
+  InjectionRecord record;
+  record.id = records_.size();
+  record.offset = offset;
+  record.bit = bit;
+  record.injected_at = clock_();
+  record.kind = classify_offset(offset);
+  record.live_bytes = 1;
+  // A newer flip at an already-tracked byte supersedes the older tracking
+  // for that byte (the older injection keeps its fate chances through the
+  // overlap machinery having lost that byte).
+  if (auto it = live_bytes_.find(offset); it != live_bytes_.end()) {
+    auto& old = records_[it->second];
+    if (old.fate == ErrorFate::Pending && old.live_bytes > 0) {
+      --old.live_bytes;
+      if (old.live_bytes == 0) {
+        decide(old, ErrorFate::Overwritten, std::nullopt);
+      }
+    }
+  }
+  live_bytes_[offset] = records_.size();
+  records_.push_back(record);
+  return record.id;
+}
+
+void CorruptionOracle::decide(InjectionRecord& record, ErrorFate fate,
+                              std::optional<audit::Technique> technique) {
+  if (record.fate != ErrorFate::Pending) {
+    return;
+  }
+  record.fate = fate;
+  record.decided_at = clock_();
+  record.caught_by = technique;
+}
+
+template <typename Fn>
+void CorruptionOracle::for_overlapping(std::size_t offset, std::size_t len,
+                                       Fn&& fn) {
+  // Injections are sparse (tens per run); iterate them instead of the span.
+  const std::size_t end = offset + len;
+  for (auto& record : records_) {
+    if (record.live_bytes > 0 && record.offset >= offset && record.offset < end) {
+      fn(record);
+    }
+  }
+}
+
+void CorruptionOracle::on_legitimate_write(std::size_t offset, std::size_t len) {
+  for_overlapping(offset, len, [this](InjectionRecord& record) {
+    // Corrupted byte replaced with known-good data: the divergence is gone.
+    live_bytes_.erase(record.offset);
+    record.live_bytes = 0;
+    decide(record, ErrorFate::Overwritten, std::nullopt);
+  });
+}
+
+void CorruptionOracle::on_client_read(sim::ProcessId, std::size_t offset,
+                                      std::size_t len) {
+  for_overlapping(offset, len, [this](InjectionRecord& record) {
+    // The application consumed corrupted data before any audit acted: an
+    // escaped error (it may still be *found* later, but the damage is done).
+    decide(record, ErrorFate::Escaped, std::nullopt);
+  });
+}
+
+void CorruptionOracle::on_finding(const audit::Finding& finding) {
+  ++findings_;
+  if (!first_finding_) {
+    first_finding_ = clock_();
+  }
+  for_overlapping(finding.offset, finding.length, [&](InjectionRecord& record) {
+    decide(record, ErrorFate::Caught, finding.technique);
+  });
+}
+
+OracleSummary CorruptionOracle::summary() const {
+  OracleSummary s;
+  s.injected = records_.size();
+  for (const auto& record : records_) {
+    switch (record.fate) {
+      case ErrorFate::Escaped:
+        ++s.escaped;
+        break;
+      case ErrorFate::Caught:
+        ++s.caught;
+        s.detection_latency_s.add(
+            static_cast<double>(record.decided_at - record.injected_at) /
+            static_cast<double>(sim::kSecond));
+        break;
+      case ErrorFate::Overwritten:
+        ++s.overwritten;
+        break;
+      case ErrorFate::Pending:
+        ++s.latent;
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace wtc::inject

@@ -1,0 +1,56 @@
+#include "inject/outcome.hpp"
+
+#include <array>
+
+namespace wtc::inject {
+
+std::string_view to_string(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::NotActivated: return "Error Not Activated";
+    case Outcome::NotManifested: return "Activated, Not Manifested";
+    case Outcome::PecosDetection: return "PECOS Detection";
+    case Outcome::AuditDetection: return "Audit Detection";
+    case Outcome::SystemDetection: return "System Detection";
+    case Outcome::ClientHang: return "Client Hang";
+    case Outcome::FailSilenceViolation: return "Fail-silence Violation";
+  }
+  return "?";
+}
+
+Outcome classify(const RunEvents& events) noexcept {
+  if (!events.activated) {
+    return Outcome::NotActivated;
+  }
+  // Earliest detection/manifestation wins; ties resolve in the order the
+  // paper's Table 7 defines PECOS detection ("prior to any other
+  // detection technique or any other result").
+  struct Candidate {
+    std::optional<sim::Time> time;
+    Outcome outcome;
+  };
+  const std::array<Candidate, 5> candidates = {{
+      {events.first_pecos, Outcome::PecosDetection},
+      {events.first_audit, Outcome::AuditDetection},
+      {events.first_fsv, Outcome::FailSilenceViolation},
+      {events.crash, Outcome::SystemDetection},
+      {events.first_hang, Outcome::ClientHang},
+  }};
+  std::optional<sim::Time> best_time;
+  Outcome best = Outcome::NotManifested;
+  for (const auto& candidate : candidates) {
+    if (candidate.time && (!best_time || *candidate.time < *best_time)) {
+      best_time = candidate.time;
+      best = candidate.outcome;
+    }
+  }
+  if (best_time) {
+    return best;
+  }
+  // Nothing detected and nothing visibly wrong: a missing success message
+  // still means the client silently stopped making progress (Table 7's
+  // Application Hang definition); otherwise the error was benign.
+  return events.all_threads_succeeded ? Outcome::NotManifested
+                                      : Outcome::ClientHang;
+}
+
+}  // namespace wtc::inject

@@ -1,0 +1,41 @@
+// Outcome classification of error-injection runs (Table 7).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace wtc::inject {
+
+enum class Outcome : std::uint8_t {
+  NotActivated,          ///< erroneous instruction never reached
+  NotManifested,         ///< executed, but the client behaved correctly
+  PecosDetection,        ///< Assertion Block fired before anything else
+  AuditDetection,        ///< an audit mechanism detected a database error
+  SystemDetection,       ///< OS signal — the client process crashed
+  ClientHang,            ///< no progress and no success message
+  FailSilenceViolation,  ///< incorrect data written to the shared database
+};
+
+[[nodiscard]] std::string_view to_string(Outcome outcome) noexcept;
+
+/// Timestamped evidence gathered from one run; classification picks the
+/// earliest event (the paper's "prior to any other detection technique").
+struct RunEvents {
+  bool activated = false;
+  std::optional<sim::Time> first_pecos;
+  std::optional<sim::Time> first_audit;
+  std::optional<sim::Time> crash;
+  std::optional<sim::Time> first_hang;
+  std::optional<sim::Time> first_fsv;  ///< golden-compare mismatch
+  /// Every client thread printed its completed-successfully message.
+  bool all_threads_succeeded = false;
+};
+
+[[nodiscard]] Outcome classify(const RunEvents& events) noexcept;
+
+inline constexpr std::size_t kOutcomeCount = 7;
+
+}  // namespace wtc::inject

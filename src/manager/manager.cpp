@@ -1,0 +1,49 @@
+#include "manager/manager.hpp"
+
+#include "audit/messages.hpp"
+#include "common/log.hpp"
+
+namespace wtc::manager {
+
+Manager::Manager(std::function<sim::ProcessId()> spawn_audit, ManagerConfig config)
+    : spawn_audit_(std::move(spawn_audit)), config_(config) {}
+
+void Manager::on_start() {
+  audit_pid_ = spawn_audit_();
+  schedule_after(config_.heartbeat_period, [this]() { send_heartbeat(); });
+}
+
+void Manager::send_heartbeat() {
+  ++seq_;
+  ++sent_;
+  sim::Message query;
+  query.from = pid();
+  query.type = audit::msg::kHeartbeat;
+  query.args = {seq_};
+  node().send(audit_pid_, std::move(query));
+
+  const std::uint64_t awaited = seq_;
+  schedule_after(config_.heartbeat_timeout,
+                 [this, awaited]() { check_reply(awaited); });
+  schedule_after(config_.heartbeat_period, [this]() { send_heartbeat(); });
+}
+
+void Manager::check_reply(std::uint64_t seq) {
+  if (last_acked_ >= seq) {
+    return;  // reply arrived in time
+  }
+  common::log(common::LogLevel::Info, "manager",
+              "audit process missed heartbeat ", seq, "; restarting");
+  ++restarts_;
+  node().kill(audit_pid_);
+  audit_pid_ = spawn_audit_();
+}
+
+void Manager::on_message(const sim::Message& message) {
+  if (message.type == audit::msg::kHeartbeatReply && !message.args.empty() &&
+      message.from == audit_pid_) {
+    last_acked_ = std::max(last_acked_, message.args[0]);
+  }
+}
+
+}  // namespace wtc::manager

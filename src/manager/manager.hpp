@@ -1,0 +1,50 @@
+// The manager process (Figure 1).
+//
+// Runs (conceptually duplicated) above the environment, starts the audit
+// process, and monitors it with the §4.1 heartbeat protocol: a periodic
+// query that the audit's heartbeat element answers. If the audit process
+// crashed, hung, or is starved by a scheduling anomaly, the reply never
+// arrives and the manager restarts it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/node.hpp"
+#include "sim/time.hpp"
+
+namespace wtc::manager {
+
+struct ManagerConfig {
+  sim::Duration heartbeat_period = 1 * static_cast<sim::Duration>(sim::kSecond);
+  /// Reply deadline: missing it means the audit process is dead/hung.
+  sim::Duration heartbeat_timeout = 3 * static_cast<sim::Duration>(sim::kSecond);
+};
+
+class Manager final : public sim::Process {
+ public:
+  /// `spawn_audit` creates (or re-creates) the audit process and returns
+  /// its pid; the manager owns when it is called.
+  Manager(std::function<sim::ProcessId()> spawn_audit, ManagerConfig config = {});
+
+  void on_start() override;
+  void on_message(const sim::Message& message) override;
+
+  [[nodiscard]] sim::ProcessId audit_pid() const noexcept { return audit_pid_; }
+  [[nodiscard]] std::uint32_t restarts() const noexcept { return restarts_; }
+  [[nodiscard]] std::uint64_t heartbeats_sent() const noexcept { return sent_; }
+
+ private:
+  void send_heartbeat();
+  void check_reply(std::uint64_t seq);
+
+  std::function<sim::ProcessId()> spawn_audit_;
+  ManagerConfig config_;
+  sim::ProcessId audit_pid_ = sim::kNoProcess;
+  std::uint64_t seq_ = 0;
+  std::uint64_t last_acked_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint32_t restarts_ = 0;
+};
+
+}  // namespace wtc::manager

@@ -1,0 +1,150 @@
+#include "pecos/monitor.hpp"
+
+namespace wtc::pecos {
+namespace {
+
+constexpr std::uint32_t kInvalidTarget = 0xFFFFFFFFu;
+
+/// Computes the address the fetched word will actually transfer control
+/// to, using the pre-execution machine state. Non-CFIs "transfer" to the
+/// fall-through. Unresolvable cases (illegal operand registers, empty
+/// return stack) yield kInvalidTarget, which never matches a valid set.
+std::uint32_t extract_xout(const vm::VmThread& thread, std::uint32_t pc,
+                           std::uint64_t word) {
+  const vm::Instr instr = vm::decode(word);
+  if (!vm::opcode_defined(static_cast<std::uint8_t>(instr.op)) ||
+      !vm::is_cfi(instr.op)) {
+    return pc + 1;
+  }
+  switch (instr.op) {
+    case vm::Opcode::Jmp:
+    case vm::Opcode::Call:
+      return static_cast<std::uint32_t>(instr.imm);
+    case vm::Opcode::Beq:
+    case vm::Opcode::Bne:
+    case vm::Opcode::Blt:
+    case vm::Opcode::Bge: {
+      if (instr.ra >= vm::kNumRegs || instr.rb >= vm::kNumRegs) {
+        return kInvalidTarget;
+      }
+      const std::int32_t a = thread.reg(instr.ra);
+      const std::int32_t b = thread.reg(instr.rb);
+      bool taken = false;
+      switch (instr.op) {
+        case vm::Opcode::Beq: taken = a == b; break;
+        case vm::Opcode::Bne: taken = a != b; break;
+        case vm::Opcode::Blt: taken = a < b; break;
+        default: taken = a >= b; break;
+      }
+      return taken ? static_cast<std::uint32_t>(instr.imm) : pc + 1;
+    }
+    case vm::Opcode::ICall:
+      if (instr.ra >= vm::kNumRegs) {
+        return kInvalidTarget;
+      }
+      return static_cast<std::uint32_t>(thread.reg(instr.ra));
+    case vm::Opcode::Ret:
+      return thread.ret_stack().empty() ? kInvalidTarget
+                                        : thread.ret_stack().back();
+    default:
+      return pc + 1;
+  }
+}
+
+}  // namespace
+
+void PecosMonitor::on_thread_start(std::uint32_t thread_id, std::uint32_t entry) {
+  if (expected_entry_.size() <= thread_id) {
+    expected_entry_.resize(thread_id + 1, 0);
+  }
+  expected_entry_[thread_id] = plan_.cfg().leader_of(entry);
+}
+
+bool PecosMonitor::assertion_fails(const vm::VmThread& thread, std::uint32_t pc,
+                                   std::uint64_t word) {
+  const Assertion* assertion = plan_.assertion_at(pc);
+  if (assertion == nullptr) {
+    return false;
+  }
+  ++stats_.checks;
+
+  // Block-entry shadow: control must have legitimately entered the block
+  // containing this assertion.
+  if (thread.id() < expected_entry_.size() &&
+      expected_entry_[thread.id()] != assertion->block_leader) {
+    ++stats_.violations;
+    return true;
+  }
+
+  const std::uint32_t xout = extract_xout(thread, pc, word);
+  bool valid = false;
+  if (assertion->kind == vm::CfiKind::IndirectCall) {
+    // Runtime-determined valid target: reread the register the *pristine*
+    // instruction names. (The fetched instruction may name another.)
+    const std::uint32_t runtime_target =
+        static_cast<std::uint32_t>(thread.reg(assertion->icall_reg));
+    valid = (xout == runtime_target);
+  } else {
+    valid = figure7_valid(xout, assertion->valid_targets);
+  }
+  if (!valid) {
+    ++stats_.violations;
+    return true;
+  }
+  return false;
+}
+
+bool PecosMonitor::before_execute(const vm::VmThread& thread, std::uint32_t pc,
+                                  std::uint64_t word) {
+  return assertion_fails(thread, pc, word);
+}
+
+void PecosMonitor::after_execute(const vm::VmThread& thread, std::uint32_t pc,
+                                 std::uint64_t word, std::uint32_t next_pc) {
+  // Track legitimate block entries. A transfer is legitimate only if it
+  // was (a) the fall-through of a non-CFI, or (b) a CFI that carries an
+  // Assertion Block — i.e., it was just validated. A CFI *without* an
+  // assertion can only be an instruction corrupted into a CFI; its jump
+  // must not update the shadow, so the next assertion's entry check flags
+  // the divergence even when the stray jump lands on a block leader.
+  const vm::Instr instr = vm::decode(word);
+  const bool cfi_word = vm::opcode_defined(static_cast<std::uint8_t>(instr.op)) &&
+                        vm::is_cfi(instr.op);
+  if (cfi_word && plan_.assertion_at(pc) == nullptr) {
+    return;  // unvalidated control transfer: leave the shadow stale
+  }
+  if (plan_.cfg().is_leader(next_pc) && thread.id() < expected_entry_.size()) {
+    expected_entry_[thread.id()] = next_pc;
+  }
+}
+
+bool PostCheckMonitor::before_execute(const vm::VmThread& thread, std::uint32_t pc,
+                                      std::uint64_t word) {
+  const std::uint32_t tid = thread.id();
+  if (tid < pending_.size() && pending_[tid] != 0) {
+    pending_[tid] = 0;
+    return true;  // the deferred (non-preemptive) detection fires now
+  }
+  if (inner_.assertion_fails(thread, pc, word)) {
+    if (tid >= pending_.size()) {
+      pending_.resize(tid + 1, 0);
+    }
+    pending_[tid] = 1;  // let the erroneous instruction execute first
+  }
+  return false;
+}
+
+void PostCheckMonitor::after_execute(const vm::VmThread& thread, std::uint32_t pc,
+                                     std::uint64_t word, std::uint32_t next_pc) {
+  inner_.after_execute(thread, pc, word, next_pc);
+}
+
+void PostCheckMonitor::on_thread_start(std::uint32_t thread_id, std::uint32_t entry) {
+  if (pending_.size() <= thread_id) {
+    pending_.resize(thread_id + 1, 0);
+  }
+  pending_[thread_id] = 0;
+  inner_.on_thread_start(thread_id, entry);
+}
+
+}  // namespace wtc::pecos

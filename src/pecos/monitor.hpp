@@ -1,0 +1,90 @@
+// PECOS runtime — the Assertion Blocks' execution-time behaviour (§6.1).
+//
+// PecosMonitor attaches to the VM's ExecMonitor seam. For every pc that
+// carries an Assertion Block it:
+//   1. extracts the runtime target address Xout the *fetched* (possibly
+//      corrupted) instruction is about to transfer control to,
+//   2. produces the valid-target list — embedded constants for static
+//      CFIs, a runtime computation for indirect calls (read the pristine
+//      instruction's register) and returns (the return-point set),
+//   3. evaluates the Figure-7 decision BEFORE the jump retires, and
+//   4. additionally verifies the block-entry shadow: the block containing
+//      this assertion must be the block control legitimately entered last
+//      (catches stray jumps into block middles from instructions that were
+//      corrupted *into* CFIs, which carry no Assertion Block of their own).
+//
+// PostCheckMonitor is the non-preemptive ablation baseline (the BSSC/CCA/
+// ECCA style the paper critiques in §2): the same checks, but evaluated
+// only after the suspect instruction has executed — so crashes can beat
+// the detector to it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pecos/plan.hpp"
+#include "vm/interp.hpp"
+
+namespace wtc::pecos {
+
+/// Statistics a monitor accumulates (exposed for tests/benches).
+struct MonitorStats {
+  std::uint64_t checks = 0;      ///< assertion evaluations
+  std::uint64_t violations = 0;  ///< preemptive detections raised
+};
+
+class PecosMonitor final : public vm::ExecMonitor {
+ public:
+  explicit PecosMonitor(const Plan& plan) : plan_(plan) {}
+
+  bool before_execute(const vm::VmThread& thread, std::uint32_t pc,
+                      std::uint64_t word) override;
+  void after_execute(const vm::VmThread& thread, std::uint32_t pc,
+                     std::uint64_t word, std::uint32_t next_pc) override;
+  void on_thread_start(std::uint32_t thread_id, std::uint32_t entry) override;
+
+  [[nodiscard]] const MonitorStats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class PostCheckMonitor;
+  /// Shared assertion evaluation: true when the impending transfer at an
+  /// assertion site is ILLEGAL.
+  [[nodiscard]] bool assertion_fails(const vm::VmThread& thread, std::uint32_t pc,
+                                     std::uint64_t word);
+
+  const Plan& plan_;
+  MonitorStats stats_;
+  std::vector<std::uint32_t> expected_entry_;  // per thread: last legit leader
+};
+
+/// Non-preemptive baseline: defers each failed check by one instruction,
+/// so the erroneous instruction executes (and may crash) first.
+class PostCheckMonitor final : public vm::ExecMonitor {
+ public:
+  explicit PostCheckMonitor(const Plan& plan) : inner_(plan) {}
+
+  bool before_execute(const vm::VmThread& thread, std::uint32_t pc,
+                      std::uint64_t word) override;
+  void after_execute(const vm::VmThread& thread, std::uint32_t pc,
+                     std::uint64_t word, std::uint32_t next_pc) override;
+  void on_thread_start(std::uint32_t thread_id, std::uint32_t entry) override;
+
+  [[nodiscard]] const MonitorStats& stats() const noexcept { return inner_.stats(); }
+
+ private:
+  PecosMonitor inner_;
+  std::vector<std::uint8_t> pending_;  // per thread: violation owed
+};
+
+/// Recovery policy for a trapped thread (the PECOS signal handler logic,
+/// §6.1): an intentional Assertion-Block fault terminates only the
+/// offending thread of execution; every other trap is an OS-detected
+/// failure that crashes the whole client process.
+enum class TrapAction : std::uint8_t { TerminateThread, CrashProcess };
+
+[[nodiscard]] constexpr TrapAction classify_trap(vm::Trap trap) noexcept {
+  return trap == vm::Trap::PecosViolation ? TrapAction::TerminateThread
+                                          : TrapAction::CrashProcess;
+}
+
+}  // namespace wtc::pecos

@@ -1,0 +1,60 @@
+#include "pecos/plan.hpp"
+
+#include <algorithm>
+
+namespace wtc::pecos {
+
+Plan Plan::instrument(const vm::Program& program) {
+  Plan plan;
+  plan.cfg_ = vm::Cfg::analyze(program);
+
+  // Return points: instruction after every call-class CFI.
+  for (const auto& [site, info] : plan.cfg_.cfis()) {
+    if (info.kind == vm::CfiKind::Call || info.kind == vm::CfiKind::IndirectCall) {
+      plan.return_points_.push_back(site + 1);
+    }
+  }
+  std::sort(plan.return_points_.begin(), plan.return_points_.end());
+
+  for (const auto& [site, info] : plan.cfg_.cfis()) {
+    Assertion assertion;
+    assertion.kind = info.kind;
+    assertion.site = site;
+    assertion.block_leader = info.block_leader;
+    assertion.icall_reg = info.icall_reg;
+    switch (info.kind) {
+      case vm::CfiKind::Jump:
+      case vm::CfiKind::Branch:
+      case vm::CfiKind::Call:
+        assertion.valid_targets = info.static_targets;
+        break;
+      case vm::CfiKind::Ret:
+        assertion.valid_targets = plan.return_points_;
+        break;
+      case vm::CfiKind::IndirectCall:
+        break;  // runtime-computed from icall_reg
+    }
+    plan.assertions_.emplace(site, std::move(assertion));
+  }
+  return plan;
+}
+
+bool figure7_valid(std::uint32_t xout,
+                   const std::vector<std::uint32_t>& targets) noexcept {
+  // Literal formulation: P accumulates the product of (Xout - Xi) in
+  // wrap-around arithmetic; any exact match zeroes it permanently.
+  std::uint64_t product = 1;
+  for (const std::uint32_t target : targets) {
+    if (xout == target) {
+      return true;  // the product is exactly zero: ID = Xout / !0 computes
+    }
+    product *= (static_cast<std::uint64_t>(xout) - target);
+  }
+  // No factor was zero, so logically !P == 0 and ID = Xout / 0 would
+  // fault. (The wrap-around product is only reported for transparency; a
+  // zero here can only come from a genuine match handled above.)
+  (void)product;
+  return false;
+}
+
+}  // namespace wtc::pecos

@@ -1,0 +1,75 @@
+#include "sim/node.hpp"
+
+#include <utility>
+
+namespace wtc::sim {
+
+EventId Process::schedule_after(Duration delay, std::function<void()> fn) {
+  Node& node = *node_;
+  const ProcessId pid = pid_;
+  const std::uint64_t incarnation = incarnation_;
+  return node.scheduler().schedule_after(
+      static_cast<Time>(delay),
+      [&node, pid, incarnation, fn = std::move(fn)]() {
+        // Fire only if the same incarnation of the process is still alive;
+        // a killed (or killed-and-restarted) process must not observe
+        // timers from its previous life.
+        auto process = node.find(pid);
+        if (process && process->incarnation_ == incarnation) {
+          fn();
+        }
+      });
+}
+
+Time Process::now() const noexcept { return node_->now(); }
+
+ProcessId Node::spawn(std::string name, std::shared_ptr<Process> process) {
+  const ProcessId pid = next_pid_++;
+  process->node_ = this;
+  process->pid_ = pid;
+  process->incarnation_ = next_incarnation_++;
+  table_.emplace(pid, Slot{std::move(name), process, process->incarnation_});
+  scheduler_.schedule_after(0, [this, pid]() {
+    if (auto p = find(pid)) {
+      p->on_start();
+    }
+  });
+  return pid;
+}
+
+bool Node::kill(ProcessId pid) {
+  auto it = table_.find(pid);
+  if (it == table_.end()) {
+    return false;
+  }
+  std::shared_ptr<Process> process = std::move(it->second.process);
+  table_.erase(it);
+  // Bump incarnation so in-flight timers/messages captured against the old
+  // incarnation become inert even if the Process object is respawned.
+  process->incarnation_ = 0;
+  process->on_stopped();
+  return true;
+}
+
+bool Node::alive(ProcessId pid) const noexcept { return table_.contains(pid); }
+
+std::string Node::name_of(ProcessId pid) const {
+  auto it = table_.find(pid);
+  return it == table_.end() ? std::string{} : it->second.name;
+}
+
+void Node::send(ProcessId to, Message message, Duration delay) {
+  scheduler_.schedule_after(static_cast<Time>(delay),
+                            [this, to, message = std::move(message)]() {
+                              if (auto process = find(to)) {
+                                process->on_message(message);
+                              }
+                            });
+}
+
+std::shared_ptr<Process> Node::find(ProcessId pid) const {
+  auto it = table_.find(pid);
+  return it == table_.end() ? nullptr : it->second.process;
+}
+
+}  // namespace wtc::sim

@@ -1,0 +1,122 @@
+// Simulated node hosting the controller's processes.
+//
+// The paper's environment is a set of OS processes on one controller node —
+// call-processing client(s), the audit process (dbserver + audit), and the
+// duplicated manager — communicating over IPC message queues, with crash
+// and restart semantics (the manager restarts a dead audit process; the
+// progress indicator kills a client that wedged the database). `Node`
+// models exactly that: process spawn/kill, asynchronous message delivery,
+// and per-process timers that die with their process.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace wtc::sim {
+
+/// Simulated process id. 0 is never issued (reserved as "nobody").
+using ProcessId = std::uint32_t;
+inline constexpr ProcessId kNoProcess = 0;
+
+/// An IPC message. `type` is interpreted by the receiver; `args` carries
+/// small scalars (table ids, record indexes, client pids, timestamps).
+struct Message {
+  ProcessId from = kNoProcess;
+  std::uint32_t type = 0;
+  std::vector<std::uint64_t> args;
+};
+
+class Node;
+
+/// Base class for simulated processes. Subclasses implement behaviour by
+/// reacting to start, incoming messages, and self-scheduled timers.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Invoked once when the process is spawned (or respawned).
+  virtual void on_start() {}
+
+  /// Invoked for each delivered message.
+  virtual void on_message(const Message& message) { (void)message; }
+
+  /// Invoked when the process is killed or exits; the process must not
+  /// schedule further work from here (its timers are already dead).
+  virtual void on_stopped() {}
+
+  [[nodiscard]] ProcessId pid() const noexcept { return pid_; }
+  [[nodiscard]] Node& node() const noexcept { return *node_; }
+
+  /// Schedules a member callback after `delay`; automatically inert if the
+  /// process has been killed (or killed-and-restarted) in the meantime.
+  EventId schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Current virtual time.
+  [[nodiscard]] Time now() const noexcept;
+
+ private:
+  friend class Node;
+  Node* node_ = nullptr;
+  ProcessId pid_ = kNoProcess;
+  std::uint64_t incarnation_ = 0;
+};
+
+/// The hosting node: process table, message delivery, lifecycle.
+class Node {
+ public:
+  explicit Node(Scheduler& scheduler) : scheduler_(scheduler) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Spawns `process` under `name` and schedules its on_start() at the
+  /// current instant. Returns its pid.
+  ProcessId spawn(std::string name, std::shared_ptr<Process> process);
+
+  /// Kills a process: no further messages or timers reach it; on_stopped()
+  /// runs immediately. No-op (returns false) if already dead.
+  bool kill(ProcessId pid);
+
+  [[nodiscard]] bool alive(ProcessId pid) const noexcept;
+  [[nodiscard]] std::string name_of(ProcessId pid) const;
+
+  /// Queues `message` for delivery to `to` after `delay` (default: the IPC
+  /// queue latency). Messages to dead processes are silently dropped, as
+  /// with a real message queue whose reader has exited.
+  void send(ProcessId to, Message message, Duration delay = kDefaultIpcDelay);
+
+  /// Looks up a live process by pid; nullptr if dead/unknown.
+  [[nodiscard]] std::shared_ptr<Process> find(ProcessId pid) const;
+
+  [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] Time now() const noexcept { return scheduler_.now(); }
+
+  /// Total processes ever spawned / currently alive (for assertions).
+  [[nodiscard]] std::size_t spawned_count() const noexcept { return next_pid_ - 1; }
+  [[nodiscard]] std::size_t alive_count() const noexcept { return table_.size(); }
+
+  /// Default modelled latency of the POSIX message queue between DB API
+  /// and the audit process (§4.2).
+  static constexpr Duration kDefaultIpcDelay = 50;  // 50 us
+
+ private:
+  struct Slot {
+    std::string name;
+    std::shared_ptr<Process> process;
+    std::uint64_t incarnation;
+  };
+
+  Scheduler& scheduler_;
+  std::unordered_map<ProcessId, Slot> table_;
+  ProcessId next_pid_ = 1;
+  std::uint64_t next_incarnation_ = 1;
+};
+
+}  // namespace wtc::sim

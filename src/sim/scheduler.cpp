@@ -1,0 +1,50 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace wtc::sim {
+
+EventId Scheduler::schedule_at(Time t, Callback cb) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(t, now_), id, std::move(cb)});
+  pending_.insert(id);
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) {
+  // A priority_queue cannot erase from the middle; drop the id from the
+  // pending set and skip the entry when it surfaces in step().
+  return pending_.erase(id) != 0;
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (pending_.erase(event.id) == 0) {
+      continue;  // cancelled while queued
+    }
+    now_ = event.time;
+    ++fired_;
+    Callback cb = std::move(event.cb);
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Scheduler::run_until(Time t) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().time <= t) {
+    step();
+  }
+  now_ = std::max(now_, t);
+}
+
+}  // namespace wtc::sim

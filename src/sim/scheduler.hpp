@@ -1,0 +1,77 @@
+// Deterministic single-threaded discrete-event scheduler.
+//
+// Every active entity in the reproduction (call-processing threads, audit
+// elements, the manager's heartbeat, injectors) advances by scheduling
+// callbacks here. Two events at the same instant fire in scheduling order
+// (FIFO tie-break), which keeps runs bit-reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wtc::sim {
+
+/// Handle for cancelling a scheduled event. Value 0 is never issued.
+using EventId = std::uint64_t;
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time. Monotone non-decreasing.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now, else fires "now").
+  EventId schedule_at(Time t, Callback cb);
+
+  /// Schedules `cb` after `delay` microseconds.
+  EventId schedule_after(Time delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event. Returns false if it already fired, was
+  /// already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue drains or `stop()` is called.
+  void run();
+
+  /// Runs all events with timestamp <= `t`, then sets now() to `t`.
+  void run_until(Time t);
+
+  /// Fires the single next event; returns false if the queue is empty.
+  bool step();
+
+  /// Makes the innermost run()/run_until() return after the current event.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
+
+ private:
+  struct Event {
+    Time time;
+    EventId id;  // doubles as the FIFO tie-break
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.id > b.id;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> pending_;  // ids scheduled but not fired/cancelled
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace wtc::sim

@@ -1,0 +1,34 @@
+// Virtual time for the discrete-event kernel.
+//
+// All paper timings — the 10 s audit period, 100 ms lock-hold threshold,
+// 100 s progress-indicator timeout, 20-30 s call durations, 2000 s runs —
+// are expressed in this clock, so experiments replay the paper's temporal
+// structure in milliseconds of wall time.
+#pragma once
+
+#include <cstdint>
+
+namespace wtc::sim {
+
+/// Virtual time in microseconds since simulation start.
+using Time = std::uint64_t;
+
+/// Signed duration in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr Time kMicrosecond = 1;
+inline constexpr Time kMillisecond = 1'000;
+inline constexpr Time kSecond = 1'000'000;
+
+/// Converts a floating-point quantity of seconds to virtual time,
+/// truncating sub-microsecond detail.
+[[nodiscard]] constexpr Time from_seconds(double seconds) noexcept {
+  return static_cast<Time>(seconds * static_cast<double>(kSecond));
+}
+
+/// Converts virtual time to floating-point seconds (for reporting).
+[[nodiscard]] constexpr double to_seconds(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace wtc::sim

@@ -1,0 +1,57 @@
+// Text assembler for MiniVM.
+//
+// The ProgramBuilder is the programmatic front end; this parser is the
+// human one — it turns assembly text into a Program, with labels, comments
+// and padding directives, so experiments and examples can keep workloads
+// in .asm files instead of C++.
+//
+//   ; one call worth of work
+//   entry:
+//       loadi   r1, 42
+//   loop:
+//       addi    r1, r1, -1
+//       bne     r1, r0, loop
+//       emit    7, r1
+//       halt
+//
+// Grammar per line:  [label:] [mnemonic operand,*] [; comment]
+// Operands: rN (register), integer immediates (decimal or 0x hex), label
+// names (resolved to instruction addresses). Directives: `.pad N` emits N
+// undefined words (inter-function padding), `.data N` sets the per-thread
+// data memory size.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "vm/program.hpp"
+
+namespace wtc::vm {
+
+/// Parse failure with 1-based line information.
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(std::size_t line, const std::string& message)
+      : std::runtime_error("asm:" + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Assembles `source` into a program. Throws AsmError on syntax errors,
+/// unknown mnemonics/registers, duplicate or undefined labels, and
+/// immediates out of range.
+[[nodiscard]] Program assemble(std::string_view source);
+
+/// The inverse: renders a program as assembler-syntax text, synthesizing
+/// `L<pc>` labels for every control flow target. For any program made of
+/// defined opcodes, `assemble(format_asm(p)).text == p.text` (undefined
+/// words render as `.pad 1` placeholders and do not round-trip their
+/// exact bits).
+[[nodiscard]] std::string format_asm(const Program& program);
+
+}  // namespace wtc::vm

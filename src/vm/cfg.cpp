@@ -1,0 +1,86 @@
+#include "vm/cfg.hpp"
+
+#include <algorithm>
+
+namespace wtc::vm {
+
+Cfg Cfg::analyze(const Program& program) {
+  Cfg cfg;
+  std::vector<std::uint32_t> leaders;
+  leaders.push_back(program.entry);
+
+  const auto note_leader = [&](std::uint32_t pc) {
+    if (pc < program.size()) {
+      leaders.push_back(pc);
+    }
+  };
+
+  // Pass 1: find CFIs and leaders.
+  for (std::uint32_t pc = 0; pc < program.size(); ++pc) {
+    const Instr instr = decode(program.text[pc]);
+    if (!is_cfi(instr.op)) {
+      continue;
+    }
+    CfiInfo info;
+    info.site = pc;
+    switch (instr.op) {
+      case Opcode::Jmp:
+        info.kind = CfiKind::Jump;
+        info.static_targets = {static_cast<std::uint32_t>(instr.imm)};
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        info.kind = CfiKind::Branch;
+        info.static_targets = {static_cast<std::uint32_t>(instr.imm), pc + 1};
+        break;
+      case Opcode::Call:
+        info.kind = CfiKind::Call;
+        info.static_targets = {static_cast<std::uint32_t>(instr.imm)};
+        break;
+      case Opcode::ICall:
+        info.kind = CfiKind::IndirectCall;
+        info.icall_reg = instr.ra;
+        break;
+      case Opcode::Ret:
+        info.kind = CfiKind::Ret;
+        break;
+      default:
+        break;
+    }
+    for (const std::uint32_t target : info.static_targets) {
+      note_leader(target);
+    }
+    note_leader(pc + 1);  // instruction after a CFI starts a block
+    // Calls return: the instruction after a Call/ICall is a leader (added
+    // above); the callee entry for ICall is unknown statically.
+    cfg.cfis_.emplace(pc, std::move(info));
+  }
+
+  std::sort(leaders.begin(), leaders.end());
+  leaders.erase(std::unique(leaders.begin(), leaders.end()), leaders.end());
+  cfg.leaders_ = std::move(leaders);
+
+  // Pass 2: assign each CFI its containing block's leader.
+  for (auto& [pc, info] : cfg.cfis_) {
+    info.block_leader = cfg.leader_of(pc);
+  }
+  return cfg;
+}
+
+std::uint32_t Cfg::leader_of(std::uint32_t pc) const noexcept {
+  auto it = std::upper_bound(leaders_.begin(), leaders_.end(), pc);
+  return it == leaders_.begin() ? 0 : *(it - 1);
+}
+
+bool Cfg::is_leader(std::uint32_t pc) const noexcept {
+  return std::binary_search(leaders_.begin(), leaders_.end(), pc);
+}
+
+const CfiInfo* Cfg::cfi_at(std::uint32_t pc) const noexcept {
+  auto it = cfis_.find(pc);
+  return it == cfis_.end() ? nullptr : &it->second;
+}
+
+}  // namespace wtc::vm

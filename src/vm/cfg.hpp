@@ -1,0 +1,71 @@
+// Control-flow-graph analysis of MiniVM programs.
+//
+// This is the compile-time half of PECOS (§6.1.1): decompose the program
+// into basic blocks ("branch-free intervals"), find every CFI, and compute
+// its set of valid target addresses — statically where the target is a
+// constant in the instruction stream, or a recipe for runtime computation
+// where it is not (indirect calls, returns).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/program.hpp"
+
+namespace wtc::vm {
+
+/// How a CFI's valid targets are determined.
+enum class CfiKind : std::uint8_t {
+  Jump,          ///< one static target
+  Branch,        ///< two static targets: taken + fall-through
+  Call,          ///< one static target (+ return-address side effect)
+  IndirectCall,  ///< target = regs[ra] at runtime (dynamic dispatch)
+  Ret,           ///< target = return address at runtime
+};
+
+/// Everything PECOS needs to know about one CFI site.
+struct CfiInfo {
+  std::uint32_t site = 0;          ///< pc of the CFI
+  CfiKind kind = CfiKind::Jump;
+  std::uint32_t block_leader = 0;  ///< leader of the containing basic block
+  /// Static valid targets (Jump: {imm}; Branch: {imm, site+1}; Call: {imm}).
+  std::vector<std::uint32_t> static_targets;
+  /// IndirectCall: the register the *pristine* instruction reads — the
+  /// runtime valid target is recomputed from it, independent of whatever
+  /// the (possibly corrupted) fetched instruction does.
+  std::uint8_t icall_reg = 0;
+};
+
+/// Basic-block decomposition + CFI table.
+class Cfg {
+ public:
+  static Cfg analyze(const Program& program);
+
+  /// Sorted basic-block leader pcs.
+  [[nodiscard]] const std::vector<std::uint32_t>& leaders() const noexcept {
+    return leaders_;
+  }
+
+  /// Leader of the block containing `pc`.
+  [[nodiscard]] std::uint32_t leader_of(std::uint32_t pc) const noexcept;
+
+  /// True if `pc` starts a basic block.
+  [[nodiscard]] bool is_leader(std::uint32_t pc) const noexcept;
+
+  /// CFI info at `pc`, nullptr if `pc` is not a CFI site.
+  [[nodiscard]] const CfiInfo* cfi_at(std::uint32_t pc) const noexcept;
+
+  [[nodiscard]] const std::unordered_map<std::uint32_t, CfiInfo>& cfis()
+      const noexcept {
+    return cfis_;
+  }
+
+  [[nodiscard]] std::size_t block_count() const noexcept { return leaders_.size(); }
+
+ private:
+  std::vector<std::uint32_t> leaders_;  // sorted
+  std::unordered_map<std::uint32_t, CfiInfo> cfis_;
+};
+
+}  // namespace wtc::vm

@@ -1,0 +1,402 @@
+#include "vm/interp.hpp"
+
+#include <algorithm>
+
+namespace wtc::vm {
+
+std::string_view to_string(Trap trap) noexcept {
+  switch (trap) {
+    case Trap::None: return "None";
+    case Trap::IllegalOpcode: return "IllegalOpcode";
+    case Trap::IllegalOperand: return "IllegalOperand";
+    case Trap::PcOutOfBounds: return "PcOutOfBounds";
+    case Trap::MemOutOfBounds: return "MemOutOfBounds";
+    case Trap::DivByZero: return "DivByZero";
+    case Trap::RetUnderflow: return "RetUnderflow";
+    case Trap::StackOverflow: return "StackOverflow";
+    case Trap::PecosViolation: return "PecosViolation";
+  }
+  return "?";
+}
+
+VmProcess::VmProcess(Program pristine, db::DbApi& api, common::Rng rng,
+                     VmConfig config)
+    : pristine_(std::move(pristine)),
+      text_(pristine_.text),
+      api_(api),
+      rng_(rng),
+      config_(config) {}
+
+std::uint32_t VmProcess::spawn_thread(std::uint32_t entry) {
+  VmThread thread;
+  thread.id_ = static_cast<std::uint32_t>(threads_.size());
+  thread.pc_ = entry;
+  thread.data_.assign(pristine_.data_words, 0);
+  threads_.push_back(std::move(thread));
+  if (monitor_ != nullptr) {
+    monitor_->on_thread_start(threads_.back().id_, entry);
+  }
+  return threads_.back().id_;
+}
+
+void VmProcess::set_breakpoint(std::uint32_t pc,
+                               std::function<void(std::uint32_t)> on_hit) {
+  breakpoint_ = Breakpoint{pc, std::move(on_hit)};
+}
+
+void VmProcess::arm_fetch_redirect(std::uint32_t pc, std::uint32_t xor_mask) {
+  redirect_ = Redirect{pc, xor_mask};
+}
+
+void VmProcess::terminate_thread(std::uint32_t i) {
+  auto& thread = threads_.at(i);
+  if (thread.state_ != ThreadState::Halted) {
+    thread.state_ = ThreadState::Terminated;
+  }
+}
+
+bool VmProcess::any_live(sim::Time horizon) const noexcept {
+  for (const auto& thread : threads_) {
+    if (thread.state_ == ThreadState::Runnable) {
+      return true;
+    }
+    if (thread.state_ == ThreadState::Sleeping && thread.wake_time_ < horizon) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void VmProcess::raise(VmThread& thread, Trap trap) noexcept {
+  thread.trap_ = trap;
+  thread.state_ = ThreadState::Trapped;
+}
+
+QuantumResult VmProcess::run_quantum(std::uint32_t i, sim::Time now) {
+  QuantumResult result;
+  auto& thread = threads_.at(i);
+
+  if (thread.state_ == ThreadState::Sleeping && thread.wake_time_ <= now) {
+    thread.state_ = ThreadState::Runnable;
+  }
+
+  while (thread.state_ == ThreadState::Runnable &&
+         result.instructions < config_.quantum) {
+    const std::uint32_t pc = thread.pc_;
+    if (pc >= text_.size()) {
+      raise(thread, Trap::PcOutOfBounds);
+      break;
+    }
+
+    // Injection breakpoint: fires once, before fetch, so the handler can
+    // mutate the live text the thread is about to execute (§6.1.2).
+    if (breakpoint_ && breakpoint_->pc == pc) {
+      auto hit = std::move(breakpoint_->on_hit);
+      breakpoint_.reset();
+      hit(i);
+    }
+
+    // Instruction fetch, with the ADDIF address-line-error model.
+    std::uint32_t fetch_pc = pc;
+    if (redirect_ && redirect_->pc == pc) {
+      fetch_pc = pc ^ redirect_->mask;
+      if (fetch_pc >= text_.size()) {
+        if (watch_pc_ == pc) {
+          ++watch_hits_;  // the fault was exercised even though it traps
+        }
+        raise(thread, Trap::PcOutOfBounds);
+        break;
+      }
+    }
+    if (watch_pc_ == pc) {
+      ++watch_hits_;
+    }
+    const std::uint64_t word = text_[fetch_pc];
+
+    // PECOS hook: preemptive check before the instruction executes.
+    if (monitor_ != nullptr && monitor_->before_execute(thread, pc, word)) {
+      raise(thread, Trap::PecosViolation);
+      break;
+    }
+
+    const Instr instr = decode(word);
+    if (!opcode_defined(static_cast<std::uint8_t>(instr.op))) {
+      raise(thread, Trap::IllegalOpcode);
+      break;
+    }
+
+    result.time_cost += config_.instr_cost;
+    result.time_cost += execute(thread, instr, now);
+    ++result.instructions;
+    ++thread.instructions_;
+    ++total_instr_;
+
+    if (monitor_ != nullptr && thread.state_ != ThreadState::Trapped) {
+      monitor_->after_execute(thread, pc, word, thread.pc_);
+    }
+  }
+  return result;
+}
+
+sim::Duration VmProcess::execute(VmThread& thread, const Instr& instr,
+                                 sim::Time now) {
+  // Register-operand validation: corrupted operand bytes that name
+  // nonexistent registers behave like an illegal instruction (SIGILL).
+  const auto need_reg = [&](std::uint8_t r) -> bool {
+    if (r >= kNumRegs) {
+      raise(thread, Trap::IllegalOperand);
+      return false;
+    }
+    return true;
+  };
+  auto& regs = thread.regs_;
+  const std::uint32_t next = thread.pc_ + 1;
+  sim::Duration db_cost = 0;
+
+  switch (instr.op) {
+    case Opcode::Nop:
+      thread.pc_ = next;
+      break;
+    case Opcode::Halt:
+      thread.state_ = ThreadState::Halted;
+      break;
+    case Opcode::LoadI:
+      if (!need_reg(instr.rd)) break;
+      regs[instr.rd] = instr.imm;
+      thread.pc_ = next;
+      break;
+    case Opcode::Mov:
+      if (!need_reg(instr.rd) || !need_reg(instr.ra)) break;
+      regs[instr.rd] = regs[instr.ra];
+      thread.pc_ = next;
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor: {
+      if (!need_reg(instr.rd) || !need_reg(instr.ra) || !need_reg(instr.rb)) break;
+      const std::int64_t a = regs[instr.ra];
+      const std::int64_t b = regs[instr.rb];
+      std::int64_t v = 0;
+      switch (instr.op) {
+        case Opcode::Add: v = a + b; break;
+        case Opcode::Sub: v = a - b; break;
+        case Opcode::Mul: v = a * b; break;
+        case Opcode::And: v = a & b; break;
+        case Opcode::Or: v = a | b; break;
+        default: v = a ^ b; break;
+      }
+      regs[instr.rd] = static_cast<std::int32_t>(v);
+      thread.pc_ = next;
+      break;
+    }
+    case Opcode::AddI:
+      if (!need_reg(instr.rd) || !need_reg(instr.ra)) break;
+      regs[instr.rd] = static_cast<std::int32_t>(
+          static_cast<std::int64_t>(regs[instr.ra]) + instr.imm);
+      thread.pc_ = next;
+      break;
+    case Opcode::Div: {
+      if (!need_reg(instr.rd) || !need_reg(instr.ra) || !need_reg(instr.rb)) break;
+      if (regs[instr.rb] == 0) {
+        raise(thread, Trap::DivByZero);
+        break;
+      }
+      const std::int64_t q =
+          static_cast<std::int64_t>(regs[instr.ra]) / regs[instr.rb];
+      regs[instr.rd] = static_cast<std::int32_t>(q);
+      thread.pc_ = next;
+      break;
+    }
+    case Opcode::Shl:
+      if (!need_reg(instr.rd) || !need_reg(instr.ra)) break;
+      regs[instr.rd] = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(regs[instr.ra])
+          << (static_cast<std::uint32_t>(instr.imm) & 31u));
+      thread.pc_ = next;
+      break;
+    case Opcode::Shr:
+      if (!need_reg(instr.rd) || !need_reg(instr.ra)) break;
+      regs[instr.rd] = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(regs[instr.ra]) >>
+          (static_cast<std::uint32_t>(instr.imm) & 31u));
+      thread.pc_ = next;
+      break;
+    case Opcode::Ld: {
+      if (!need_reg(instr.rd) || !need_reg(instr.ra)) break;
+      const std::int64_t addr =
+          static_cast<std::int64_t>(regs[instr.ra]) + instr.imm;
+      if (addr < 0 || addr >= static_cast<std::int64_t>(thread.data_.size())) {
+        raise(thread, Trap::MemOutOfBounds);
+        break;
+      }
+      regs[instr.rd] = thread.data_[static_cast<std::size_t>(addr)];
+      thread.pc_ = next;
+      break;
+    }
+    case Opcode::St: {
+      if (!need_reg(instr.ra) || !need_reg(instr.rb)) break;
+      const std::int64_t addr =
+          static_cast<std::int64_t>(regs[instr.ra]) + instr.imm;
+      if (addr < 0 || addr >= static_cast<std::int64_t>(thread.data_.size())) {
+        raise(thread, Trap::MemOutOfBounds);
+        break;
+      }
+      thread.data_[static_cast<std::size_t>(addr)] = regs[instr.rb];
+      thread.pc_ = next;
+      break;
+    }
+    case Opcode::Rand:
+      if (!need_reg(instr.rd)) break;
+      regs[instr.rd] = static_cast<std::int32_t>(rng_.uniform(
+          instr.imm > 0 ? static_cast<std::uint64_t>(instr.imm) : 1));
+      thread.pc_ = next;
+      break;
+    case Opcode::Emit:
+      if (!need_reg(instr.rd)) break;
+      emits_.push_back({thread.id_, instr.imm, regs[instr.rd], now});
+      thread.pc_ = next;
+      break;
+    case Opcode::SleepR: {
+      if (!need_reg(instr.ra)) break;
+      const std::int32_t usec = std::max(regs[instr.ra], 0);
+      thread.state_ = ThreadState::Sleeping;
+      thread.wake_time_ = now + static_cast<sim::Time>(usec);
+      thread.pc_ = next;
+      break;
+    }
+
+    // --- control flow ---
+    case Opcode::Jmp:
+      thread.pc_ = static_cast<std::uint32_t>(instr.imm);
+      break;
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Bge: {
+      if (!need_reg(instr.ra) || !need_reg(instr.rb)) break;
+      const std::int32_t a = regs[instr.ra];
+      const std::int32_t b = regs[instr.rb];
+      bool taken = false;
+      switch (instr.op) {
+        case Opcode::Beq: taken = a == b; break;
+        case Opcode::Bne: taken = a != b; break;
+        case Opcode::Blt: taken = a < b; break;
+        default: taken = a >= b; break;
+      }
+      thread.pc_ = taken ? static_cast<std::uint32_t>(instr.imm) : next;
+      break;
+    }
+    case Opcode::Call:
+      if (thread.ret_stack_.size() >= config_.max_call_depth) {
+        raise(thread, Trap::StackOverflow);
+        break;
+      }
+      thread.ret_stack_.push_back(next);
+      thread.pc_ = static_cast<std::uint32_t>(instr.imm);
+      break;
+    case Opcode::ICall:
+      if (!need_reg(instr.ra)) break;
+      if (thread.ret_stack_.size() >= config_.max_call_depth) {
+        raise(thread, Trap::StackOverflow);
+        break;
+      }
+      thread.ret_stack_.push_back(next);
+      thread.pc_ = static_cast<std::uint32_t>(regs[instr.ra]);
+      break;
+    case Opcode::Ret:
+      if (thread.ret_stack_.empty()) {
+        raise(thread, Trap::RetUnderflow);
+        break;
+      }
+      thread.pc_ = thread.ret_stack_.back();
+      thread.ret_stack_.pop_back();
+      break;
+
+    // --- database bindings ---
+    case Opcode::DbAlloc: {
+      if (!need_reg(instr.rd) || !need_reg(instr.ra) || !need_reg(instr.rb)) break;
+      db::RecordIndex out = 0;
+      const auto status = api_.alloc_rec(
+          static_cast<db::TableId>(static_cast<std::uint32_t>(regs[instr.ra])),
+          static_cast<std::uint32_t>(regs[instr.rb]), out);
+      regs[instr.rd] =
+          status == db::Status::Ok ? static_cast<std::int32_t>(out) : -1;
+      regs[kDbStatusReg] = static_cast<std::int32_t>(status);
+      db_cost = db::api_cost(db::ApiOp::Alloc, api_.instrumented());
+      thread.pc_ = next;
+      break;
+    }
+    case Opcode::DbFree: {
+      if (!need_reg(instr.ra) || !need_reg(instr.rb)) break;
+      const auto status = api_.free_rec(
+          static_cast<db::TableId>(static_cast<std::uint32_t>(regs[instr.ra])),
+          static_cast<db::RecordIndex>(regs[instr.rb]));
+      regs[kDbStatusReg] = static_cast<std::int32_t>(status);
+      db_cost = db::api_cost(db::ApiOp::Free, api_.instrumented());
+      thread.pc_ = next;
+      break;
+    }
+    case Opcode::DbReadFld: {
+      if (!need_reg(instr.rd) || !need_reg(instr.ra) || !need_reg(instr.rb)) break;
+      std::int32_t value = 0;
+      const auto status = api_.read_fld(
+          static_cast<db::TableId>(static_cast<std::uint32_t>(regs[instr.ra])),
+          static_cast<db::RecordIndex>(regs[instr.rb]),
+          static_cast<db::FieldId>(static_cast<std::uint32_t>(instr.imm)), value);
+      if (status == db::Status::Ok) {
+        regs[instr.rd] = value;
+      }
+      regs[kDbStatusReg] = static_cast<std::int32_t>(status);
+      db_cost = db::api_cost(db::ApiOp::ReadFld, api_.instrumented());
+      thread.pc_ = next;
+      break;
+    }
+    case Opcode::DbWriteFld: {
+      if (!need_reg(instr.rd) || !need_reg(instr.ra) || !need_reg(instr.rb)) break;
+      const auto status = api_.write_fld(
+          static_cast<db::TableId>(static_cast<std::uint32_t>(regs[instr.ra])),
+          static_cast<db::RecordIndex>(regs[instr.rb]),
+          static_cast<db::FieldId>(static_cast<std::uint32_t>(instr.imm)),
+          regs[instr.rd]);
+      regs[kDbStatusReg] = static_cast<std::int32_t>(status);
+      db_cost = db::api_cost(db::ApiOp::WriteFld, api_.instrumented());
+      thread.pc_ = next;
+      break;
+    }
+    case Opcode::DbMove: {
+      if (!need_reg(instr.ra) || !need_reg(instr.rb)) break;
+      const auto status = api_.move_rec(
+          static_cast<db::TableId>(static_cast<std::uint32_t>(regs[instr.ra])),
+          static_cast<db::RecordIndex>(regs[instr.rb]),
+          static_cast<std::uint32_t>(instr.imm));
+      regs[kDbStatusReg] = static_cast<std::int32_t>(status);
+      db_cost = db::api_cost(db::ApiOp::Move, api_.instrumented());
+      thread.pc_ = next;
+      break;
+    }
+    case Opcode::DbTxnBegin: {
+      if (!need_reg(instr.ra)) break;
+      const auto status = api_.txn_begin(
+          static_cast<db::TableId>(static_cast<std::uint32_t>(regs[instr.ra])));
+      regs[kDbStatusReg] = static_cast<std::int32_t>(status);
+      db_cost = db::api_cost(db::ApiOp::TxnBegin, api_.instrumented());
+      thread.pc_ = next;
+      break;
+    }
+    case Opcode::DbTxnEnd: {
+      if (!need_reg(instr.ra)) break;
+      const auto status = api_.txn_end(
+          static_cast<db::TableId>(static_cast<std::uint32_t>(regs[instr.ra])));
+      regs[kDbStatusReg] = static_cast<std::int32_t>(status);
+      db_cost = db::api_cost(db::ApiOp::TxnEnd, api_.instrumented());
+      thread.pc_ = next;
+      break;
+    }
+  }
+  return db_cost;
+}
+
+}  // namespace wtc::vm

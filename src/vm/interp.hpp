@@ -1,0 +1,207 @@
+// MiniVM interpreter: threads, traps, DB bindings, and injection hooks.
+//
+// A VmProcess models one multi-threaded client process: all threads share
+// one *live* text segment (so one injected instruction error can be
+// activated by several threads, §6.1.2) and one database connection. The
+// pristine program is kept separately — it is what the PECOS instrumenter
+// analyzed and what the injector restores after the error window.
+//
+// Traps map to the paper's Solaris signals: IllegalOpcode/IllegalOperand/
+// PcOutOfBounds/MemOutOfBounds/DivByZero/RetUnderflow/StackOverflow are
+// "system detection" (SIGILL/SIGSEGV/SIGBUS/SIGFPE -> client crash);
+// PecosViolation is the divide-by-zero the Assertion Block raises on
+// purpose, routed to the PECOS handler which terminates only the offending
+// thread (§6.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "db/api.hpp"
+#include "sim/time.hpp"
+#include "vm/program.hpp"
+
+namespace wtc::vm {
+
+enum class Trap : std::uint8_t {
+  None = 0,
+  IllegalOpcode,   ///< undefined opcode byte (SIGILL analog)
+  IllegalOperand,  ///< register index >= kNumRegs (SIGILL analog)
+  PcOutOfBounds,   ///< control transferred outside the text segment (SIGSEGV)
+  MemOutOfBounds,  ///< data access outside the thread's memory (SIGSEGV)
+  DivByZero,       ///< genuine divide-by-zero (SIGFPE)
+  RetUnderflow,    ///< ret with empty call stack (SIGSEGV analog)
+  StackOverflow,   ///< call depth exceeded (SIGSEGV analog)
+  PecosViolation,  ///< Assertion Block fired (intentional SIGFPE, §6.1)
+};
+
+[[nodiscard]] std::string_view to_string(Trap trap) noexcept;
+
+enum class ThreadState : std::uint8_t {
+  Runnable = 0,
+  Sleeping,    ///< SleepR executed; wake at VmThread::wake_time
+  Halted,      ///< Halt executed (normal completion)
+  Trapped,     ///< trap raised; Trap tells which
+  Terminated,  ///< killed externally (PECOS recovery / process crash)
+};
+
+/// Client-visible side channel: Emit instructions append here. The
+/// experiment harness reads it for "completed successfully" messages and
+/// golden-compare mismatch reports (Figure 8 steps 5-6).
+struct EmitRecord {
+  std::uint32_t thread = 0;
+  std::int32_t code = 0;
+  std::int32_t value = 0;
+  sim::Time time = 0;  ///< quantum start time (approximate)
+};
+
+class VmProcess;
+
+/// One simulated client thread.
+class VmThread {
+ public:
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] std::uint32_t pc() const noexcept { return pc_; }
+  [[nodiscard]] ThreadState state() const noexcept { return state_; }
+  [[nodiscard]] Trap trap() const noexcept { return trap_; }
+  [[nodiscard]] sim::Time wake_time() const noexcept { return wake_time_; }
+  [[nodiscard]] std::int32_t reg(unsigned r) const { return regs_.at(r); }
+  [[nodiscard]] const std::vector<std::uint32_t>& ret_stack() const noexcept {
+    return ret_stack_;
+  }
+  [[nodiscard]] std::uint64_t instructions_retired() const noexcept {
+    return instructions_;
+  }
+
+  void set_reg(unsigned r, std::int32_t v) { regs_.at(r) = v; }
+
+ private:
+  friend class VmProcess;
+  std::uint32_t id_ = 0;
+  std::uint32_t pc_ = 0;
+  ThreadState state_ = ThreadState::Runnable;
+  Trap trap_ = Trap::None;
+  sim::Time wake_time_ = 0;
+  std::array<std::int32_t, kNumRegs> regs_{};
+  std::vector<std::int32_t> data_;
+  std::vector<std::uint32_t> ret_stack_;
+  std::uint64_t instructions_ = 0;
+};
+
+/// Execution monitor hook — the seam where PECOS attaches (the runtime
+/// half of the Assertion Blocks). Kept abstract so the VM has no
+/// dependency on the checking policy.
+class ExecMonitor {
+ public:
+  virtual ~ExecMonitor() = default;
+  /// Called before the fetched `word` at `pc` executes. Returning true
+  /// raises Trap::PecosViolation *instead of executing* — the preemptive
+  /// property: the erroneous jump never retires.
+  virtual bool before_execute(const VmThread& thread, std::uint32_t pc,
+                              std::uint64_t word) = 0;
+  /// Called after an instruction retires; `next_pc` is where control went.
+  virtual void after_execute(const VmThread& thread, std::uint32_t pc,
+                             std::uint64_t word, std::uint32_t next_pc) = 0;
+  /// Called when a thread is spawned or reset.
+  virtual void on_thread_start(std::uint32_t thread_id, std::uint32_t entry) = 0;
+};
+
+/// Result of one scheduling quantum.
+struct QuantumResult {
+  std::uint32_t instructions = 0;
+  sim::Duration time_cost = 0;  ///< instruction time + DB op time
+};
+
+/// Per-process execution configuration.
+struct VmConfig {
+  std::uint32_t quantum = 50;         ///< max instructions per scheduling slice
+  sim::Duration instr_cost = 1;       ///< microseconds per instruction
+  std::uint32_t max_call_depth = 256;
+};
+
+class VmProcess {
+ public:
+  /// `pristine` is copied; the live text can then be mutated by the
+  /// injector while the pristine copy stays authoritative.
+  VmProcess(Program pristine, db::DbApi& api, common::Rng rng, VmConfig config = {});
+
+  [[nodiscard]] const Program& pristine() const noexcept { return pristine_; }
+  [[nodiscard]] std::vector<std::uint64_t>& live_text() noexcept { return text_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& live_text() const noexcept {
+    return text_;
+  }
+
+  /// Spawns a thread at `entry`; returns its index.
+  std::uint32_t spawn_thread(std::uint32_t entry);
+  [[nodiscard]] std::size_t thread_count() const noexcept { return threads_.size(); }
+  [[nodiscard]] VmThread& thread(std::uint32_t i) { return threads_.at(i); }
+  [[nodiscard]] const VmThread& thread(std::uint32_t i) const { return threads_.at(i); }
+
+  void set_monitor(ExecMonitor* monitor) noexcept { monitor_ = monitor; }
+
+  // --- injection hooks ---
+  /// Fires `on_hit(thread)` when any thread is about to execute `pc`
+  /// (before the monitor sees the fetch). One-shot: cleared on fire.
+  void set_breakpoint(std::uint32_t pc, std::function<void(std::uint32_t)> on_hit);
+  [[nodiscard]] bool breakpoint_armed() const noexcept { return breakpoint_.has_value(); }
+
+  /// ADDIF model: while armed, a fetch at `pc` reads text[pc ^ xor_mask]
+  /// instead (an address-line error during instruction fetch).
+  void arm_fetch_redirect(std::uint32_t pc, std::uint32_t xor_mask);
+  void disarm_fetch_redirect() noexcept { redirect_.reset(); }
+
+  /// Counts fetches at `pc` (activation tracking for the injector).
+  void set_fetch_watch(std::uint32_t pc) noexcept {
+    watch_pc_ = pc;
+    watch_hits_ = 0;
+  }
+  [[nodiscard]] std::uint64_t fetch_watch_hits() const noexcept { return watch_hits_; }
+
+  /// Executes up to `quantum` instructions of thread `i` starting at
+  /// virtual time `now`. Stops early on sleep, halt, trap, or termination.
+  QuantumResult run_quantum(std::uint32_t i, sim::Time now);
+
+  /// Marks thread `i` Terminated (PECOS graceful recovery / process kill).
+  void terminate_thread(std::uint32_t i);
+
+  /// True if any thread is Runnable or has a Sleeping wake before `horizon`.
+  [[nodiscard]] bool any_live(sim::Time horizon) const noexcept;
+
+  [[nodiscard]] const std::vector<EmitRecord>& emits() const noexcept { return emits_; }
+  [[nodiscard]] std::uint64_t total_instructions() const noexcept { return total_instr_; }
+  [[nodiscard]] db::DbApi& api() noexcept { return api_; }
+
+ private:
+  struct Redirect {
+    std::uint32_t pc;
+    std::uint32_t mask;
+  };
+  struct Breakpoint {
+    std::uint32_t pc;
+    std::function<void(std::uint32_t)> on_hit;
+  };
+
+  /// Executes one decoded instruction; returns extra time cost (DB ops).
+  sim::Duration execute(VmThread& thread, const Instr& instr, sim::Time now);
+  void raise(VmThread& thread, Trap trap) noexcept;
+
+  Program pristine_;
+  std::vector<std::uint64_t> text_;
+  db::DbApi& api_;
+  common::Rng rng_;
+  VmConfig config_;
+  std::vector<VmThread> threads_;
+  ExecMonitor* monitor_ = nullptr;
+  std::optional<Redirect> redirect_;
+  std::optional<Breakpoint> breakpoint_;
+  std::uint32_t watch_pc_ = 0xFFFFFFFFu;
+  std::uint64_t watch_hits_ = 0;
+  std::vector<EmitRecord> emits_;
+  std::uint64_t total_instr_ = 0;
+};
+
+}  // namespace wtc::vm

@@ -1,0 +1,109 @@
+#include "vm/program.hpp"
+
+#include <sstream>
+
+namespace wtc::vm {
+
+bool opcode_defined(std::uint8_t op) noexcept {
+  switch (static_cast<Opcode>(op)) {
+    case Opcode::Nop:
+    case Opcode::Halt:
+    case Opcode::LoadI:
+    case Opcode::Mov:
+    case Opcode::Add:
+    case Opcode::AddI:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Ld:
+    case Opcode::St:
+    case Opcode::Rand:
+    case Opcode::Emit:
+    case Opcode::SleepR:
+    case Opcode::Jmp:
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Bge:
+    case Opcode::Call:
+    case Opcode::ICall:
+    case Opcode::Ret:
+    case Opcode::DbAlloc:
+    case Opcode::DbFree:
+    case Opcode::DbReadFld:
+    case Opcode::DbWriteFld:
+    case Opcode::DbMove:
+    case Opcode::DbTxnBegin:
+    case Opcode::DbTxnEnd:
+      return true;
+  }
+  return false;
+}
+
+std::string_view mnemonic(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::Nop: return "nop";
+    case Opcode::Halt: return "halt";
+    case Opcode::LoadI: return "loadi";
+    case Opcode::Mov: return "mov";
+    case Opcode::Add: return "add";
+    case Opcode::AddI: return "addi";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::Div: return "div";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::Shr: return "shr";
+    case Opcode::Ld: return "ld";
+    case Opcode::St: return "st";
+    case Opcode::Rand: return "rand";
+    case Opcode::Emit: return "emit";
+    case Opcode::SleepR: return "sleepr";
+    case Opcode::Jmp: return "jmp";
+    case Opcode::Beq: return "beq";
+    case Opcode::Bne: return "bne";
+    case Opcode::Blt: return "blt";
+    case Opcode::Bge: return "bge";
+    case Opcode::Call: return "call";
+    case Opcode::ICall: return "icall";
+    case Opcode::Ret: return "ret";
+    case Opcode::DbAlloc: return "db.alloc";
+    case Opcode::DbFree: return "db.free";
+    case Opcode::DbReadFld: return "db.readfld";
+    case Opcode::DbWriteFld: return "db.writefld";
+    case Opcode::DbMove: return "db.move";
+    case Opcode::DbTxnBegin: return "db.txnbegin";
+    case Opcode::DbTxnEnd: return "db.txnend";
+  }
+  return "ill";
+}
+
+std::string disassemble(std::uint64_t word) {
+  const Instr instr = decode(word);
+  std::ostringstream oss;
+  if (!opcode_defined(static_cast<std::uint8_t>(instr.op))) {
+    oss << "<illegal 0x" << std::hex << word << ">";
+    return oss.str();
+  }
+  oss << mnemonic(instr.op) << " rd=r" << static_cast<int>(instr.rd) << " ra=r"
+      << static_cast<int>(instr.ra) << " rb=r" << static_cast<int>(instr.rb)
+      << " imm=" << instr.imm;
+  return oss.str();
+}
+
+std::string disassemble(const Program& program) {
+  std::ostringstream oss;
+  for (std::uint32_t pc = 0; pc < program.size(); ++pc) {
+    oss << pc << ": " << disassemble(program.text[pc]) << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace wtc::vm

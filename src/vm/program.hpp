@@ -1,0 +1,136 @@
+// MiniVM: a small binary-encoded register ISA.
+//
+// The paper instruments SPARC assembly and injects bit-level errors on the
+// address/data lines of instruction fetch (error models of Table 6). To
+// reproduce that without SPARC hardware, the call-processing client is
+// compiled to this ISA: 64-bit instruction words whose opcode and operand
+// bits can be flipped individually, yielding the same manifestation
+// classes — illegal opcodes (-> crash signal), altered operands (-> data
+// errors), and altered control-flow targets (-> control flow errors that
+// PECOS must catch preemptively).
+//
+// Word layout (little-endian within the u64):
+//   bits  0..7   opcode
+//   bits  8..15  rd   (destination register)
+//   bits 16..23  ra   (source register 1)
+//   bits 24..31  rb   (source register 2)
+//   bits 32..63  imm  (signed 32-bit immediate)
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace wtc::vm {
+
+inline constexpr unsigned kNumRegs = 16;
+/// DB operations leave their wtc::db::Status in this register.
+inline constexpr std::uint8_t kDbStatusReg = 13;
+
+enum class Opcode : std::uint8_t {
+  Nop = 0,
+  Halt = 1,
+  LoadI = 2,   ///< rd = imm
+  Mov = 3,     ///< rd = ra
+  Add = 4,     ///< rd = ra + rb
+  AddI = 5,    ///< rd = ra + imm
+  Sub = 6,     ///< rd = ra - rb
+  Mul = 7,     ///< rd = ra * rb
+  Div = 8,     ///< rd = ra / rb; rb == 0 traps DivByZero
+  And = 9,
+  Or = 10,
+  Xor = 11,
+  Shl = 12,  ///< rd = ra << (imm & 31)
+  Shr = 13,  ///< rd = ra >> (imm & 31), logical
+  Ld = 14,   ///< rd = data[ra + imm]
+  St = 15,   ///< data[ra + imm] = rb
+  Rand = 16,    ///< rd = uniform[0, imm)
+  Emit = 17,    ///< append (imm, regs[rd]) to the process emit trace
+  SleepR = 18,  ///< thread sleeps regs[ra] microseconds of virtual time
+
+  // --- control flow instructions (CFIs) ---
+  Jmp = 24,    ///< pc = imm
+  Beq = 25,    ///< if ra == rb: pc = imm
+  Bne = 26,    ///< if ra != rb: pc = imm
+  Blt = 27,    ///< if ra <  rb (signed): pc = imm
+  Bge = 28,    ///< if ra >= rb (signed): pc = imm
+  Call = 29,   ///< push pc+1; pc = imm
+  ICall = 30,  ///< push pc+1; pc = regs[ra]  (dynamic dispatch analog)
+  Ret = 31,    ///< pc = pop()
+
+  // --- database API bindings (the client is a database client, §3.1.1) ---
+  DbAlloc = 40,     ///< rd = alloc_rec(table=regs[ra], group=regs[rb])
+  DbFree = 41,      ///< free_rec(table=regs[ra], record=regs[rb])
+  DbReadFld = 42,   ///< rd = read_fld(table=regs[ra], record=regs[rb], field=imm)
+  DbWriteFld = 43,  ///< write_fld(table=regs[ra], record=regs[rb], field=imm, value=regs[rd])
+  DbMove = 44,      ///< move_rec(table=regs[ra], record=regs[rb], group=imm)
+  DbTxnBegin = 45,  ///< txn_begin(table=regs[ra])
+  DbTxnEnd = 46,    ///< txn_end(table=regs[ra])
+};
+
+/// Decoded instruction.
+struct Instr {
+  Opcode op = Opcode::Nop;
+  std::uint8_t rd = 0;
+  std::uint8_t ra = 0;
+  std::uint8_t rb = 0;
+  std::int32_t imm = 0;
+};
+
+[[nodiscard]] constexpr std::uint64_t encode(const Instr& instr) noexcept {
+  return static_cast<std::uint64_t>(static_cast<std::uint8_t>(instr.op)) |
+         (static_cast<std::uint64_t>(instr.rd) << 8) |
+         (static_cast<std::uint64_t>(instr.ra) << 16) |
+         (static_cast<std::uint64_t>(instr.rb) << 24) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(instr.imm)) << 32);
+}
+
+[[nodiscard]] constexpr Instr decode(std::uint64_t word) noexcept {
+  Instr instr;
+  instr.op = static_cast<Opcode>(word & 0xFFu);
+  instr.rd = static_cast<std::uint8_t>((word >> 8) & 0xFFu);
+  instr.ra = static_cast<std::uint8_t>((word >> 16) & 0xFFu);
+  instr.rb = static_cast<std::uint8_t>((word >> 24) & 0xFFu);
+  instr.imm = static_cast<std::int32_t>(static_cast<std::uint32_t>(word >> 32));
+  return instr;
+}
+
+/// True for opcode values that decode to a defined instruction.
+[[nodiscard]] bool opcode_defined(std::uint8_t op) noexcept;
+
+/// True if `op` is a control flow instruction.
+[[nodiscard]] constexpr bool is_cfi(Opcode op) noexcept {
+  const auto v = static_cast<std::uint8_t>(op);
+  return v >= static_cast<std::uint8_t>(Opcode::Jmp) &&
+         v <= static_cast<std::uint8_t>(Opcode::Ret);
+}
+
+/// True if `op` is a conditional branch (two static targets).
+[[nodiscard]] constexpr bool is_branch(Opcode op) noexcept {
+  const auto v = static_cast<std::uint8_t>(op);
+  return v >= static_cast<std::uint8_t>(Opcode::Beq) &&
+         v <= static_cast<std::uint8_t>(Opcode::Bge);
+}
+
+[[nodiscard]] std::string_view mnemonic(Opcode op) noexcept;
+
+/// An assembled program: shared text segment plus metadata. Threads of a
+/// VmProcess share the text, which is why one injected instruction error
+/// can be activated by several threads (§6.1.2).
+struct Program {
+  std::vector<std::uint64_t> text;
+  std::uint32_t entry = 0;
+  std::uint32_t data_words = 256;  ///< per-thread data memory size
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(text.size());
+  }
+};
+
+/// Human-readable disassembly of one instruction (debugging / examples).
+[[nodiscard]] std::string disassemble(std::uint64_t word);
+
+/// Disassembles a whole program, one line per instruction.
+[[nodiscard]] std::string disassemble(const Program& program);
+
+}  // namespace wtc::vm

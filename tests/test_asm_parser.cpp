@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "callproc/vm_program.hpp"
+#include "db/controller_schema.hpp"
+#include "vm/asm_parser.hpp"
+#include "vm/interp.hpp"
+
+namespace wtc::vm {
+namespace {
+
+TEST(AsmParser, AssemblesStraightLineCode) {
+  const Program program = assemble(R"(
+      ; compute (21 * 2) - 2 and emit it
+      loadi r1, 21
+      loadi r2, 2
+      mul   r3, r1, r2
+      addi  r3, r3, -2
+      emit  99, r3
+      halt
+  )");
+  ASSERT_EQ(program.size(), 6u);
+  EXPECT_EQ(decode(program.text[0]).op, Opcode::LoadI);
+  EXPECT_EQ(decode(program.text[0]).imm, 21);
+  EXPECT_EQ(decode(program.text[2]).op, Opcode::Mul);
+  EXPECT_EQ(decode(program.text[4]).op, Opcode::Emit);
+  EXPECT_EQ(decode(program.text[4]).imm, 99);
+}
+
+TEST(AsmParser, ResolvesLabelsForwardAndBackward) {
+  const Program program = assemble(R"(
+    entry:
+      jmp body          # forward reference
+    helper:
+      ret
+    body:
+      call helper       ; backward reference
+      beq r1, r2, entry
+      halt
+  )");
+  EXPECT_EQ(decode(program.text[0]).imm, 2);  // body
+  EXPECT_EQ(decode(program.text[2]).imm, 1);  // helper
+  EXPECT_EQ(decode(program.text[3]).imm, 0);  // entry
+}
+
+TEST(AsmParser, ParsesHexNegativeAndDirectives) {
+  const Program program = assemble(R"(
+      .data 64
+      loadi r5, 0x7A5C
+      addi  r5, r5, -3
+      .pad 4
+      halt
+  )");
+  EXPECT_EQ(program.data_words, 64u);
+  EXPECT_EQ(program.size(), 7u);  // 2 + 4 pad + halt
+  EXPECT_EQ(decode(program.text[0]).imm, 0x7A5C);
+  EXPECT_EQ(decode(program.text[1]).imm, -3);
+  EXPECT_FALSE(opcode_defined(static_cast<std::uint8_t>(decode(program.text[2]).op)));
+}
+
+TEST(AsmParser, AssembledProgramActuallyRuns) {
+  const Program program = assemble(R"(
+      ; sum 1..5 with a loop, store in data[0], read back, emit
+      loadi r1, 0      ; sum
+      loadi r2, 1      ; i
+      loadi r3, 6      ; bound
+    loop:
+      bge   r2, r3, done
+      add   r1, r1, r2
+      addi  r2, r2, 1
+      jmp   loop
+    done:
+      loadi r4, 0
+      st    r4, 0, r1
+      ld    r5, r4, 0
+      emit  1, r5
+      halt
+  )");
+  auto db = db::make_controller_database();
+  db::DbApi api(*db, []() { return sim::Time{0}; });
+  api.init(1);
+  VmProcess process(program, api, common::Rng(1), {});
+  process.spawn_thread(0);
+  for (int i = 0; i < 100 && process.thread(0).state() == ThreadState::Runnable;
+       ++i) {
+    process.run_quantum(0, 0);
+  }
+  EXPECT_EQ(process.thread(0).state(), ThreadState::Halted);
+  ASSERT_EQ(process.emits().size(), 1u);
+  EXPECT_EQ(process.emits()[0].value, 15);
+}
+
+TEST(AsmParser, DbOpsParse) {
+  const Program program = assemble(R"(
+      loadi r1, 2
+      loadi r2, 1
+      db.txnbegin r1
+      db.alloc    r3, r1, r2
+      db.writefld r4, r1, r3, 2
+      db.readfld  r5, r1, r3, 2
+      db.move     r1, r3, 2
+      db.free     r1, r3
+      db.txnend   r1
+      halt
+  )");
+  EXPECT_EQ(decode(program.text[3]).op, Opcode::DbAlloc);
+  EXPECT_EQ(decode(program.text[4]).op, Opcode::DbWriteFld);
+  EXPECT_EQ(decode(program.text[4]).imm, 2);
+  EXPECT_EQ(decode(program.text[6]).op, Opcode::DbMove);
+}
+
+TEST(AsmParser, RejectsBrokenInput) {
+  EXPECT_THROW((void)assemble("frobnicate r1"), AsmError);
+  EXPECT_THROW((void)assemble("loadi r99, 1"), AsmError);
+  EXPECT_THROW((void)assemble("loadi r1"), AsmError);           // missing operand
+  EXPECT_THROW((void)assemble("jmp nowhere"), AsmError);        // undefined label
+  EXPECT_THROW((void)assemble("x:\nx:\n  halt"), AsmError);     // duplicate label
+  EXPECT_THROW((void)assemble("loadi r1, 99999999999"), AsmError);  // overflow
+  EXPECT_THROW((void)assemble("loadi r1, zz"), AsmError);
+
+  try {
+    (void)assemble("nop\nnop\nbadop r1\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& error) {
+    EXPECT_EQ(error.line(), 3u);  // errors carry the line number
+  }
+}
+
+TEST(AsmFormatter, RoundTripsHandWrittenPrograms) {
+  const Program original = assemble(R"(
+      .data 64
+      loadi r1, -5
+      loadi r2, 0x10
+    loop:
+      addi  r1, r1, 1
+      bne   r1, r2, loop
+      st    r0, 3, r1
+      ld    r4, r0, 3
+      emit  9, r4
+      halt
+  )");
+  const std::string text = format_asm(original);
+  const Program back = assemble(text);
+  EXPECT_EQ(back.text, original.text);
+  EXPECT_EQ(back.data_words, original.data_words);
+}
+
+TEST(AsmFormatter, RoundTripsTheFullCallProcessingClient) {
+  // The complete client program — every opcode class, icall dispatch,
+  // inter-function padding — must survive format -> assemble bit-exactly.
+  auto db = db::make_controller_database();
+  callproc::VmProgramParams params;
+  params.ids = db::resolve_controller_ids(db->schema());
+  const Program original = callproc::build_call_program(params);
+
+  const std::string text = format_asm(original);
+  const Program back = assemble(text);
+  ASSERT_EQ(back.size(), original.size());
+  for (std::uint32_t pc = 0; pc < original.size(); ++pc) {
+    EXPECT_EQ(back.text[pc], original.text[pc]) << "pc " << pc;
+  }
+}
+
+TEST(AsmFormatter, LabelsEveryBranchTarget) {
+  const Program program = assemble("jmp x\nnop\nx: halt");
+  const std::string text = format_asm(program);
+  EXPECT_NE(text.find("L2:"), std::string::npos);
+  EXPECT_NE(text.find("jmp L2"), std::string::npos);
+}
+
+TEST(AsmParser, EmitDefaultsValueRegisterToR0) {
+  const Program program = assemble("emit 7\nhalt");
+  EXPECT_EQ(decode(program.text[0]).rd, 0);
+  const Program with_reg = assemble("emit 7, r3\nhalt");
+  EXPECT_EQ(decode(with_reg.text[0]).rd, 3);
+}
+
+}  // namespace
+}  // namespace wtc::vm

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "common/crc32.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table_printer.hpp"
+
+namespace wtc::common {
+namespace {
+
+std::span<const std::byte> as_bytes(const char* text) {
+  return {reinterpret_cast<const std::byte*>(text), std::strlen(text)};
+}
+
+TEST(Crc32, KnownVectors) {
+  // Standard CRC-32/IEEE test vector.
+  EXPECT_EQ(crc32(as_bytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(as_bytes("")), 0x00000000u);
+  EXPECT_EQ(crc32(as_bytes("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, ChunkingInvariance) {
+  const char* text = "wireless telephone network controller";
+  Crc32 whole;
+  whole.update(as_bytes(text));
+
+  Crc32 chunked;
+  const auto bytes = as_bytes(text);
+  chunked.update(bytes.subspan(0, 7));
+  chunked.update(bytes.subspan(7, 11));
+  chunked.update(bytes.subspan(18));
+  EXPECT_EQ(whole.value(), chunked.value());
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::byte> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i * 7);
+  }
+  const std::uint32_t golden = crc32(data);
+  for (std::size_t byte = 0; byte < data.size(); byte += 13) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<std::byte>(1 << bit);
+      EXPECT_NE(crc32(data), golden) << "byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<std::byte>(1 << bit);
+    }
+  }
+  EXPECT_EQ(crc32(data), golden);
+}
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.next() != c.next()) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 33}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.uniform(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(5);
+  bool low = false, high = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    low |= v == -3;
+    high |= v == 3;
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.exponential(10.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kSamples, 10.0, 0.5);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(99);
+  Rng child = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next() == child2.next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Stats, BinomialCi95MatchesNormalApproximation) {
+  // 46% of 328 activated errors: the paper reports (40, 51).
+  const auto ci = binomial_ci95(151, 328);
+  EXPECT_NEAR(ci.lo, 40.6, 0.5);
+  EXPECT_NEAR(ci.hi, 51.4, 0.5);
+}
+
+TEST(Stats, BinomialCiEdgeCases) {
+  EXPECT_EQ(binomial_ci95(0, 0).lo, 0.0);
+  const auto all = binomial_ci95(50, 50);
+  EXPECT_EQ(all.hi, 100.0);
+  const auto none = binomial_ci95(0, 50);
+  EXPECT_EQ(none.lo, 0.0);
+}
+
+TEST(Stats, PercentFormatting) {
+  EXPECT_EQ(percent(63, 100), 63.0);
+  EXPECT_EQ(percent(0, 0), 0.0);
+  EXPECT_EQ(format_count_or_percent(3, 800), "3");
+  const auto formatted = format_count_or_percent(400, 800);
+  EXPECT_NE(formatted.find("50%"), std::string::npos);
+}
+
+TEST(Stats, RunningStatsWelford) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, ValueHistogramSuspects) {
+  ValueHistogram h;
+  for (int i = 0; i < 40; ++i) {
+    h.add(7);
+  }
+  h.add(1234);  // single outlier
+  EXPECT_EQ(h.total(), 41u);
+  EXPECT_EQ(h.distinct(), 2u);
+  const auto suspects = h.suspects(0.3);
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0], 1234);
+  EXPECT_EQ(h.count_of(7), 40u);
+}
+
+TEST(Stats, ValueHistogramFlatDistributionHasNoSuspects) {
+  ValueHistogram h;
+  for (int i = 0; i < 50; ++i) {
+    h.add(i);  // all values distinct: mean occurrence 1
+  }
+  EXPECT_TRUE(h.suspects(0.3).empty());
+}
+
+TEST(Log, LevelsFilterAndFormat) {
+  const auto previous = log_level();
+  set_log_level(LogLevel::Error);
+  log(LogLevel::Debug, "test", "dropped ", 42);       // below threshold
+  log(LogLevel::Error, "test", "kept ", 1, " and ", 2.5);  // stderr, no crash
+  set_log_level(LogLevel::Off);
+  log(LogLevel::Error, "test", "also dropped");
+  set_log_level(previous);
+  SUCCEED();
+}
+
+TEST(TablePrinter, ToleratesRaggedRows) {
+  TablePrinter table({"A", "B", "C"});
+  table.add_row({"1"});                      // short row
+  table.add_row({"1", "2", "3", "extra"});   // long row grows the table
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("extra"), std::string::npos);
+  EXPECT_NE(rendered.find("1"), std::string::npos);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"Category", "Without", "With"});
+  table.add_row({"Escaped", "1884 (63%)", "402 (13%)"});
+  table.add_row({"Caught", "N/A", "2543 (85%)"});
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("Escaped"), std::string::npos);
+  EXPECT_NE(rendered.find("2543 (85%)"), std::string::npos);
+  // Every line has the same column separators.
+  EXPECT_NE(rendered.find("-+-"), std::string::npos);
+}
+
+TEST(TablePrinter, FmtDigits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(69.0, 0), "69");
+}
+
+}  // namespace
+}  // namespace wtc::common

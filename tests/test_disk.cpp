@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "db/controller_schema.hpp"
+#include "db/disk.hpp"
+
+namespace wtc::db {
+namespace {
+
+class DiskTest : public ::testing::Test {
+ protected:
+  DiskTest() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("wtc_disk_test_" + std::to_string(::getpid()) + ".img");
+  }
+  ~DiskTest() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(DiskTest, SaveVerifyLoadRoundTrip) {
+  auto db = make_controller_database();
+  ASSERT_TRUE(save_image(*db, path_));
+  ASSERT_TRUE(verify_image(path_));
+
+  // Damage the live region thoroughly, then boot from permanent storage.
+  for (std::size_t i = 0; i < db->region().size(); i += 3) {
+    db->region()[i] ^= std::byte{0x5A};
+  }
+  const auto loaded = load_image(*db, path_);
+  ASSERT_TRUE(loaded) << loaded.error;
+  EXPECT_TRUE(std::equal(db->region().begin(), db->region().end(),
+                         db->pristine().begin()));
+  EXPECT_TRUE(CatalogView(db->region()).header_ok());
+}
+
+TEST_F(DiskTest, LoadIntoFreshDatabaseOfSameSchema) {
+  auto original = make_controller_database();
+  ASSERT_TRUE(save_image(*original, path_));
+
+  auto fresh = make_controller_database();
+  const auto loaded = load_image(*fresh, path_);
+  ASSERT_TRUE(loaded) << loaded.error;
+  EXPECT_TRUE(std::equal(fresh->pristine().begin(), fresh->pristine().end(),
+                         original->pristine().begin()));
+}
+
+TEST_F(DiskTest, RejectsMissingFile) {
+  auto db = make_controller_database();
+  EXPECT_FALSE(load_image(*db, path_));
+  EXPECT_FALSE(verify_image(path_));
+}
+
+TEST_F(DiskTest, RejectsCorruptedImage) {
+  auto db = make_controller_database();
+  ASSERT_TRUE(save_image(*db, path_));
+
+  // Flip one payload byte on "disk": the checksum must catch it.
+  {
+    std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(40);
+    char byte = 0;
+    file.seekg(40);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    file.seekp(40);
+    file.write(&byte, 1);
+  }
+  const auto verified = verify_image(path_);
+  EXPECT_FALSE(verified);
+  EXPECT_NE(verified.error.find("checksum"), std::string::npos);
+
+  // The database must be left untouched by the failed load.
+  const std::vector<std::byte> before(db->region().begin(), db->region().end());
+  EXPECT_FALSE(load_image(*db, path_));
+  EXPECT_TRUE(std::equal(db->region().begin(), db->region().end(), before.begin()));
+}
+
+TEST_F(DiskTest, RejectsWrongSchema) {
+  auto original = make_controller_database();
+  ASSERT_TRUE(save_image(*original, path_));
+
+  // A database with a different layout cannot boot this image.
+  Database other(make_bench_schema());
+  const auto loaded = load_image(other, path_);
+  EXPECT_FALSE(loaded);
+}
+
+TEST_F(DiskTest, RejectsTruncatedAndForeignFiles) {
+  {
+    std::ofstream file(path_, std::ios::binary | std::ios::trunc);
+    file << "hi";
+  }
+  EXPECT_FALSE(verify_image(path_));
+  {
+    std::ofstream file(path_, std::ios::binary | std::ios::trunc);
+    file << "this is definitely not a database image, just prose long enough";
+  }
+  EXPECT_FALSE(verify_image(path_));
+}
+
+}  // namespace
+}  // namespace wtc::db

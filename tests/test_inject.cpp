@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "callproc/vm_program.hpp"
+#include "db/controller_schema.hpp"
+#include "inject/client_injector.hpp"
+#include "inject/db_injector.hpp"
+#include "inject/oracle.hpp"
+#include "inject/outcome.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wtc::inject {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest()
+      : db_(db::make_controller_database()),
+        oracle_(*db_, [this]() { return now_; }) {
+    ids_ = db::resolve_controller_ids(db_->schema());
+  }
+
+  std::unique_ptr<db::Database> db_;
+  db::ControllerIds ids_;
+  CorruptionOracle oracle_;
+  sim::Time now_ = 0;
+};
+
+TEST_F(OracleTest, ClientReadBeforeDetectionEscapes) {
+  const std::size_t offset = db_->layout().field_offset(ids_.connection, 4, 2);
+  oracle_.record_injection(offset, 3);
+  now_ = 100;
+  oracle_.on_client_read(9, offset, 4);
+
+  const auto summary = oracle_.summary();
+  EXPECT_EQ(summary.escaped, 1u);
+  EXPECT_EQ(summary.caught, 0u);
+
+  // A later audit finding does not flip an escaped error to caught.
+  now_ = 200;
+  audit::Finding finding;
+  finding.offset = offset;
+  finding.length = 4;
+  oracle_.on_finding(finding);
+  EXPECT_EQ(oracle_.summary().escaped, 1u);
+  EXPECT_EQ(oracle_.summary().caught, 0u);
+}
+
+TEST_F(OracleTest, AuditFindingBeforeReadCatchesWithLatency) {
+  const std::size_t offset = db_->layout().field_offset(ids_.connection, 4, 2);
+  now_ = 1'000'000;
+  oracle_.record_injection(offset, 3);
+  now_ = 4'000'000;  // 3 seconds later
+  audit::Finding finding;
+  finding.technique = audit::Technique::RangeCheck;
+  finding.offset = db_->layout().record_offset(ids_.connection, 4);
+  finding.length = db_->layout().table(ids_.connection).record_size;
+  oracle_.on_finding(finding);
+
+  now_ = 5'000'000;
+  oracle_.on_client_read(9, offset, 4);  // too late: already caught
+
+  const auto summary = oracle_.summary();
+  EXPECT_EQ(summary.caught, 1u);
+  EXPECT_EQ(summary.escaped, 0u);
+  EXPECT_NEAR(summary.detection_latency_s.mean(), 3.0, 0.01);
+  ASSERT_EQ(oracle_.records().size(), 1u);
+  EXPECT_EQ(oracle_.records()[0].caught_by, audit::Technique::RangeCheck);
+}
+
+TEST_F(OracleTest, LegitimateOverwriteIsNoEffect) {
+  const std::size_t offset = db_->layout().field_offset(ids_.connection, 4, 2);
+  oracle_.record_injection(offset, 3);
+  oracle_.on_legitimate_write(offset - 8, 16);  // covers the byte
+  const auto summary = oracle_.summary();
+  EXPECT_EQ(summary.overwritten, 1u);
+  EXPECT_EQ(summary.no_effect(), 1u);
+}
+
+TEST_F(OracleTest, UntouchedInjectionStaysLatent) {
+  oracle_.record_injection(db_->layout().data_start() + 3, 1);
+  const auto summary = oracle_.summary();
+  EXPECT_EQ(summary.latent, 1u);
+  EXPECT_EQ(summary.no_effect(), 1u);
+}
+
+TEST_F(OracleTest, NonOverlappingEventsDoNotDecide) {
+  const std::size_t offset = db_->layout().field_offset(ids_.connection, 4, 2);
+  oracle_.record_injection(offset, 3);
+  oracle_.on_client_read(9, offset + 8, 4);
+  oracle_.on_legitimate_write(offset - 8, 4);
+  EXPECT_EQ(oracle_.summary().latent, 1u);
+}
+
+TEST_F(OracleTest, ClassifiesTargetKinds) {
+  // Catalog byte.
+  oracle_.record_injection(4, 0);
+  // Static table byte.
+  oracle_.record_injection(db_->layout().record_offset(ids_.subscriber, 0) +
+                               db::kRecordHeaderSize,
+                           0);
+  // Dynamic record header.
+  oracle_.record_injection(db_->layout().record_offset(ids_.process, 0), 0);
+  // Ranged field (Connection.state is field index 4).
+  oracle_.record_injection(db_->layout().field_offset(ids_.connection, 0, ids_.c_state),
+                           0);
+  // Key field.
+  oracle_.record_injection(
+      db_->layout().field_offset(ids_.connection, 0, ids_.c_connection_id), 0);
+  // Unruled field.
+  oracle_.record_injection(
+      db_->layout().field_offset(ids_.connection, 0, ids_.c_caller_id), 0);
+
+  const auto& records = oracle_.records();
+  EXPECT_EQ(records[0].kind, TargetKind::Catalog);
+  EXPECT_EQ(records[1].kind, TargetKind::StaticTable);
+  EXPECT_EQ(records[2].kind, TargetKind::RecordHeader);
+  EXPECT_EQ(records[3].kind, TargetKind::RangedField);
+  EXPECT_EQ(records[4].kind, TargetKind::KeyField);
+  EXPECT_EQ(records[5].kind, TargetKind::UnruledField);
+}
+
+TEST(DbInjector, FlipsBitsAtConfiguredRate) {
+  sim::Scheduler scheduler;
+  sim::Node node(scheduler);
+  auto db = db::make_controller_database();
+  CorruptionOracle oracle(*db, [&scheduler]() { return scheduler.now(); });
+
+  DbInjectorConfig config;
+  config.inter_arrival = 2 * static_cast<sim::Duration>(sim::kSecond);
+  config.arrival = ArrivalModel::Fixed;
+  auto injector =
+      std::make_shared<DbErrorInjector>(*db, oracle, common::Rng(1), config);
+  node.spawn("injector", injector);
+  scheduler.run_until(21 * sim::kSecond);
+
+  // First flip lands at a random phase within [0, 2s); then one every 2s:
+  // 10 or 11 flips by t=21s.
+  EXPECT_GE(injector->injected(), 10u);
+  EXPECT_LE(injector->injected(), 11u);
+  EXPECT_EQ(oracle.records().size(), injector->injected());
+  // Every injection actually diverged the region from pristine.
+  std::size_t diverged = 0;
+  for (std::size_t i = 0; i < db->region().size(); ++i) {
+    if (db->region()[i] != db->pristine()[i]) {
+      ++diverged;
+    }
+  }
+  EXPECT_GE(diverged, 8u);  // collisions possible but rare
+}
+
+TEST(DbInjector, MaxInjectionsStopsTheProcess) {
+  sim::Scheduler scheduler;
+  sim::Node node(scheduler);
+  auto db = db::make_controller_database();
+  CorruptionOracle oracle(*db, [&scheduler]() { return scheduler.now(); });
+  DbInjectorConfig config;
+  config.inter_arrival = sim::kSecond / 10;
+  config.max_injections = 5;
+  auto injector =
+      std::make_shared<DbErrorInjector>(*db, oracle, common::Rng(2), config);
+  node.spawn("injector", injector);
+  scheduler.run_until(10 * sim::kSecond);
+  EXPECT_EQ(injector->injected(), 5u);
+}
+
+TEST(DbInjector, ProportionalDistributionFollowsAccessCounts) {
+  sim::Scheduler scheduler;
+  sim::Node node(scheduler);
+  db::Database db(db::make_bench_schema({.scale = 4}));
+  CorruptionOracle oracle(db, [&scheduler]() { return scheduler.now(); });
+  // Table 0 heavily accessed, others idle.
+  db.table_stats(0).writes = 100'000;
+
+  DbInjectorConfig config;
+  config.inter_arrival = sim::kSecond / 100;
+  config.distribution = ErrorDistribution::ProportionalToAccess;
+  auto injector =
+      std::make_shared<DbErrorInjector>(db, oracle, common::Rng(3), config);
+  node.spawn("injector", injector);
+  scheduler.run_until(5 * sim::kSecond);
+
+  std::size_t in_table0 = 0;
+  for (const auto& record : oracle.records()) {
+    const auto loc = db.layout().locate(record.offset);
+    if (loc && loc->table == 0) {
+      ++in_table0;
+    }
+  }
+  EXPECT_GT(in_table0, oracle.records().size() * 9 / 10);
+}
+
+TEST(DbInjector, BurstyModelClustersErrorsInSpaceAndTime) {
+  sim::Scheduler scheduler;
+  sim::Node node(scheduler);
+  auto db = db::make_controller_database();
+  CorruptionOracle oracle(*db, [&scheduler]() { return scheduler.now(); });
+
+  DbInjectorConfig config;
+  config.inter_arrival = 2 * static_cast<sim::Duration>(sim::kSecond);
+  config.arrival = ArrivalModel::Bursty;
+  config.burst_size = 5;
+  config.burst_radius = 32;
+  auto injector =
+      std::make_shared<DbErrorInjector>(*db, oracle, common::Rng(11), config);
+  node.spawn("injector", injector);
+  scheduler.run_until(400 * sim::kSecond);
+
+  const auto& records = oracle.records();
+  ASSERT_GT(records.size(), 30u);
+
+  // Long-run rate roughly matches one error per inter_arrival.
+  const double rate = static_cast<double>(records.size()) / 400.0;
+  EXPECT_GT(rate, 0.25);
+  EXPECT_LT(rate, 1.0);
+
+  // Spatial clustering: consecutive same-burst errors land close together
+  // far more often than uniform flips would (region is ~12 KB wide).
+  std::size_t close_pairs = 0;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    const auto a = records[i - 1].offset;
+    const auto b = records[i].offset;
+    if ((a > b ? a - b : b - a) <= 2 * config.burst_radius) {
+      ++close_pairs;
+    }
+  }
+  EXPECT_GT(close_pairs, records.size() / 3);
+}
+
+TEST(Outcome, ClassificationPrecedence) {
+  RunEvents events;
+  events.activated = false;
+  EXPECT_EQ(classify(events), Outcome::NotActivated);
+
+  events.activated = true;
+  events.all_threads_succeeded = true;
+  EXPECT_EQ(classify(events), Outcome::NotManifested);
+
+  events.all_threads_succeeded = false;
+  EXPECT_EQ(classify(events), Outcome::ClientHang);
+
+  // Earliest event wins.
+  events.crash = 100;
+  EXPECT_EQ(classify(events), Outcome::SystemDetection);
+  events.first_pecos = 50;
+  EXPECT_EQ(classify(events), Outcome::PecosDetection);
+  events.first_audit = 25;
+  EXPECT_EQ(classify(events), Outcome::AuditDetection);
+  events.first_fsv = 10;
+  EXPECT_EQ(classify(events), Outcome::FailSilenceViolation);
+
+  // Tie at the same instant: PECOS ("prior to any other technique").
+  RunEvents tie;
+  tie.activated = true;
+  tie.first_pecos = 100;
+  tie.crash = 100;
+  EXPECT_EQ(classify(tie), Outcome::PecosDetection);
+}
+
+class ClientInjectorTest : public ::testing::Test {
+ protected:
+  ClientInjectorTest()
+      : db_(db::make_controller_database()),
+        api_(*db_, []() { return sim::Time{0}; }) {
+    api_.init(1);
+    callproc::VmProgramParams params;
+    params.ids = db::resolve_controller_ids(db_->schema());
+    params.num_subscribers = 64;
+    params.calls_per_thread = 1;
+    program_ = callproc::build_call_program(params);
+  }
+
+  std::unique_ptr<db::Database> db_;
+  db::DbApi api_;
+  vm::Program program_;
+  sim::Scheduler scheduler_;
+};
+
+TEST_F(ClientInjectorTest, DirectedTargetsAreAlwaysCfis) {
+  vm::VmProcess process(program_, api_, common::Rng(1), {});
+  const vm::Cfg cfg = vm::Cfg::analyze(program_);
+  for (int i = 0; i < 50; ++i) {
+    ClientInjectorConfig config;
+    config.target = InjectTarget::DirectedCFI;
+    ClientErrorInjector injector(process, scheduler_, common::Rng(100u + static_cast<std::uint64_t>(i)), config);
+    injector.arm();
+    EXPECT_NE(cfg.cfi_at(injector.target_pc()), nullptr)
+        << "pc " << injector.target_pc();
+  }
+}
+
+TEST_F(ClientInjectorTest, DataModelsFlipTheRightBits) {
+  for (int i = 0; i < 30; ++i) {
+    vm::VmProcess process(program_, api_, common::Rng(1), {});
+    ClientInjectorConfig config;
+    config.model = i % 2 == 0 ? ErrorModel::DATAIF : ErrorModel::DATAOF;
+    ClientErrorInjector injector(process, scheduler_, common::Rng(200u + static_cast<std::uint64_t>(i)), config);
+    injector.arm();
+    const std::uint32_t pc = injector.target_pc();
+    const std::uint64_t before = process.live_text()[pc];
+
+    // Drive the thread to the breakpoint by forcing its pc there.
+    process.spawn_thread(pc == 0 ? 0 : pc);
+    process.run_quantum(0, 0);
+    ASSERT_TRUE(injector.planted());
+    const std::uint64_t flipped = before ^ process.live_text()[pc];
+    if (flipped == 0) {
+      continue;  // already restored within the quantum (possible)
+    }
+    if (config.model == ErrorModel::DATAIF) {
+      EXPECT_EQ(flipped & ~0xFFull, 0u) << "DATAIF must stay in the opcode byte";
+    } else {
+      EXPECT_EQ(flipped & 0xFFull, 0u) << "DATAOF must not touch the opcode byte";
+    }
+    EXPECT_EQ(std::popcount(flipped), 1);
+  }
+}
+
+TEST_F(ClientInjectorTest, RestoreBringsPristineTextBack) {
+  vm::VmProcess process(program_, api_, common::Rng(1), {});
+  ClientInjectorConfig config;
+  config.model = ErrorModel::DATAInF;
+  config.error_window = 100;
+  ClientErrorInjector injector(process, scheduler_, common::Rng(5), config);
+  injector.arm();
+
+  process.spawn_thread(injector.target_pc());
+  process.run_quantum(0, 0);
+  ASSERT_TRUE(injector.planted());
+  EXPECT_TRUE(injector.activated());
+
+  scheduler_.run_until(1'000);
+  EXPECT_EQ(process.live_text()[injector.target_pc()],
+            process.pristine().text[injector.target_pc()]);
+}
+
+TEST_F(ClientInjectorTest, MultipleThreadsCanActivateOneInjection) {
+  // §6.1.2: "if an error is injected into even a single instruction, it is
+  // possible that another thread may execute the same erroneous
+  // instruction" — threads share the text segment and the error window
+  // outlasts the triggering thread's first execution.
+  ClientInjectorConfig config;
+  config.model = ErrorModel::DATAOF;
+  config.error_window = 50 * static_cast<sim::Duration>(sim::kMillisecond);
+  vm::VmProcess fresh(program_, api_, common::Rng(1), {});
+  for (int t = 0; t < 8; ++t) {
+    fresh.spawn_thread(program_.entry);
+  }
+  ClientErrorInjector hot(fresh, scheduler_, common::Rng(3), config);
+  hot.arm();
+  // Run all threads round-robin within the window; re-run until the
+  // breakpoint pc gets planted, then give other threads quanta.
+  sim::Time now = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint32_t t = 0; t < fresh.thread_count(); ++t) {
+      if (fresh.thread(t).state() == vm::ThreadState::Runnable ||
+          (fresh.thread(t).state() == vm::ThreadState::Sleeping &&
+           fresh.thread(t).wake_time() <= now)) {
+        fresh.run_quantum(t, now);
+      }
+    }
+    now += 1000;
+    scheduler_.run_until(now);
+  }
+  if (hot.activated()) {
+    // When the planted instruction sits on a path all threads take, the
+    // window usually sees several activations.
+    EXPECT_GE(hot.activations(), 1u);
+  }
+}
+
+TEST_F(ClientInjectorTest, RestoredTextRunsCleanForLaterThreads) {
+  vm::VmProcess process(program_, api_, common::Rng(1), {});
+  ClientInjectorConfig config;
+  config.model = ErrorModel::DATAInF;
+  config.error_window = 10;  // tiny window: restores almost immediately
+  ClientErrorInjector injector(process, scheduler_, common::Rng(5), config);
+  injector.arm();
+  const std::uint32_t pc = injector.target_pc();
+
+  process.spawn_thread(pc == 0 ? 0 : pc);
+  process.run_quantum(0, 0);
+  scheduler_.run_until(1'000);  // restore fires
+
+  // The text is pristine again: a thread spawned now executes the original
+  // instruction stream.
+  EXPECT_TRUE(std::equal(process.live_text().begin(), process.live_text().end(),
+                         process.pristine().text.begin()));
+}
+
+TEST_F(ClientInjectorTest, UnreachedBreakpointNeverActivates) {
+  vm::VmProcess process(program_, api_, common::Rng(1), {});
+  ClientInjectorConfig config;
+  ClientErrorInjector injector(process, scheduler_, common::Rng(6), config);
+  injector.arm();
+  EXPECT_FALSE(injector.planted());
+  EXPECT_FALSE(injector.activated());
+}
+
+}  // namespace
+}  // namespace wtc::inject

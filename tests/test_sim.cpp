@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/node.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wtc::sim {
+namespace {
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(30, [&]() { order.push_back(3); });
+  sched.schedule_at(10, [&]() { order.push_back(1); });
+  sched.schedule_at(20, [&]() { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 30u);
+}
+
+TEST(Scheduler, FifoTieBreakAtSameInstant) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule_at(7, [&order, i]() { order.push_back(i); });
+  }
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, CancelPreventsFiring) {
+  Scheduler sched;
+  bool fired = false;
+  const EventId id = sched.schedule_at(5, [&]() { fired = true; });
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_FALSE(sched.cancel(id));  // double cancel
+  sched.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelAfterFireReturnsFalse) {
+  Scheduler sched;
+  const EventId id = sched.schedule_at(1, []() {});
+  sched.run();
+  EXPECT_FALSE(sched.cancel(id));
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWithoutOvershooting) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(10, [&]() { ++fired; });
+  sched.schedule_at(100, [&]() { ++fired; });
+  sched.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), 50u);
+  sched.run_until(100);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, EventsScheduledFromEventsRun) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 10) {
+      sched.schedule_after(1, recurse);
+    }
+  };
+  sched.schedule_after(1, recurse);
+  sched.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sched.now(), 10u);
+}
+
+TEST(Scheduler, PastTimestampsClampToNow) {
+  Scheduler sched;
+  Time seen = 1234;
+  sched.schedule_at(100, [&sched, &seen]() {
+    sched.schedule_at(5, [&sched, &seen]() { seen = sched.now(); });
+  });
+  sched.run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(Scheduler, StopBreaksRun) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(1, [&]() {
+    ++fired;
+    sched.stop();
+  });
+  sched.schedule_at(2, [&]() { ++fired; });
+  sched.run();
+  EXPECT_EQ(fired, 1);
+  sched.run();
+  EXPECT_EQ(fired, 2);
+}
+
+class Echo : public Process {
+ public:
+  void on_message(const Message& message) override {
+    received.push_back(message);
+    if (message.type == 1) {
+      Message reply;
+      reply.from = pid();
+      reply.type = 2;
+      reply.args = message.args;
+      node().send(message.from, std::move(reply));
+    }
+  }
+  void on_stopped() override { stopped = true; }
+  std::vector<Message> received;
+  bool stopped = false;
+};
+
+TEST(Node, SpawnDeliversStartAndMessages) {
+  Scheduler sched;
+  Node node(sched);
+  auto a = std::make_shared<Echo>();
+  auto b = std::make_shared<Echo>();
+  const ProcessId pa = node.spawn("a", a);
+  const ProcessId pb = node.spawn("b", b);
+  EXPECT_TRUE(node.alive(pa));
+  EXPECT_EQ(node.name_of(pb), "b");
+
+  Message m;
+  m.from = pa;
+  m.type = 1;
+  m.args = {42};
+  node.send(pb, m);
+  sched.run();
+  ASSERT_EQ(b->received.size(), 1u);
+  EXPECT_EQ(b->received[0].args[0], 42u);
+  ASSERT_EQ(a->received.size(), 1u);  // echo reply
+  EXPECT_EQ(a->received[0].type, 2u);
+}
+
+TEST(Node, MessagesToDeadProcessesAreDropped) {
+  Scheduler sched;
+  Node node(sched);
+  auto a = std::make_shared<Echo>();
+  const ProcessId pa = node.spawn("a", a);
+  node.send(pa, Message{.from = 0, .type = 9, .args = {}});
+  node.kill(pa);
+  EXPECT_TRUE(a->stopped);
+  sched.run();
+  EXPECT_TRUE(a->received.empty());
+  EXPECT_FALSE(node.alive(pa));
+}
+
+class TimerProc : public Process {
+ public:
+  void on_start() override {
+    schedule_after(10, [this]() { ++ticks; });
+    schedule_after(20, [this]() { ++ticks; });
+  }
+  int ticks = 0;
+};
+
+TEST(Node, TimersDieWithProcess) {
+  Scheduler sched;
+  Node node(sched);
+  auto p = std::make_shared<TimerProc>();
+  const ProcessId pid = node.spawn("t", p);
+  sched.run_until(12);
+  EXPECT_EQ(p->ticks, 1);
+  node.kill(pid);
+  sched.run();
+  EXPECT_EQ(p->ticks, 1);  // the 20us timer must not fire
+}
+
+TEST(Node, RespawnedProcessDoesNotSeeOldTimers) {
+  Scheduler sched;
+  Node node(sched);
+  auto p = std::make_shared<TimerProc>();
+  const ProcessId pid1 = node.spawn("t", p);
+  sched.run_until(1);
+  node.kill(pid1);
+  p->ticks = 0;
+  node.spawn("t", p);  // same object, new incarnation
+  sched.run_until(50);
+  EXPECT_EQ(p->ticks, 2);  // only the new incarnation's two timers
+}
+
+TEST(Node, BookkeepingCounters) {
+  Scheduler sched;
+  Node node(sched);
+  EXPECT_EQ(node.spawned_count(), 0u);
+  const ProcessId a = node.spawn("a", std::make_shared<Echo>());
+  node.spawn("b", std::make_shared<Echo>());
+  EXPECT_EQ(node.spawned_count(), 2u);
+  EXPECT_EQ(node.alive_count(), 2u);
+  node.kill(a);
+  EXPECT_EQ(node.alive_count(), 1u);
+  EXPECT_EQ(node.spawned_count(), 2u);
+  EXPECT_EQ(node.name_of(a), "");
+  EXPECT_FALSE(node.kill(a));  // double kill
+}
+
+TEST(Cpu, SerializesWork) {
+  Cpu cpu;
+  EXPECT_EQ(cpu.book(100, 50), 150u);
+  EXPECT_EQ(cpu.book(100, 10), 160u);  // queues behind the first booking
+  EXPECT_EQ(cpu.book(500, 10), 510u);  // idle gap: starts immediately
+  EXPECT_EQ(cpu.total_booked(), 70u);
+}
+
+TEST(Cpu, ContentionGrowsLatency) {
+  Cpu cpu;
+  // Ten tasks of 100us arriving at the same instant: the last one ends at
+  // 1000us even though each only needs 100us.
+  Time last = 0;
+  for (int i = 0; i < 10; ++i) {
+    last = cpu.book(0, 100);
+  }
+  EXPECT_EQ(last, 1000u);
+}
+
+}  // namespace
+}  // namespace wtc::sim

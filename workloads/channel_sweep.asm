@@ -1,0 +1,28 @@
+; Diagnostic channel sweep for the controller database.
+; Walks the Resource table (table 4) and re-tunes weak channels.
+; Assemble and run:  asmc workloads/channel_sweep.asm --run 2
+    .data 32
+entry:
+    loadi r1, 4          ; Resource table id
+    loadi r2, 0          ; record cursor
+    loadi r3, 96         ; number of resource records (default schema)
+sweep:
+    bge   r2, r3, done
+    db.readfld r4, r1, r2, 4      ; power_level
+    loadi r0, 0
+    bne   r13, r0, next           ; not active: skip
+    loadi r5, 30
+    bge   r4, r5, next            ; healthy
+    call  retune
+next:
+    addi  r2, r2, 1
+    jmp   sweep
+done:
+    emit  5                        ; all done
+    halt
+
+retune:
+    loadi r6, 75
+    db.writefld r6, r1, r2, 4
+    emit  4, r2
+    ret
