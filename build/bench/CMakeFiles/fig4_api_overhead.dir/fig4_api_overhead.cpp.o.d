@@ -219,9 +219,11 @@ bench/CMakeFiles/fig4_api_overhead.dir/fig4_api_overhead.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/optional \
  /root/repo/src/db/layout.hpp /root/repo/src/db/schema.hpp \
- /root/repo/src/sim/node.hpp /root/repo/src/sim/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp \
+ /root/repo/src/sim/node.hpp /root/repo/src/sim/channel_faults.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/src/sim/time.hpp \
+ /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/db/controller_schema.hpp

@@ -214,23 +214,24 @@ bench/CMakeFiles/fig6_prioritized_proportional.dir/fig6_prioritized_proportional
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/sim/channel_faults.hpp /root/repo/src/common/rng.hpp \
+ /usr/include/c++/12/limits /root/repo/src/sim/time.hpp \
  /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp \
- /root/repo/src/db/database.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/db/layout.hpp \
- /root/repo/src/common/rng.hpp /usr/include/c++/12/limits \
- /root/repo/src/common/stats.hpp /root/repo/src/db/api.hpp \
- /root/repo/src/db/controller_schema.hpp /root/repo/src/sim/cpu.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/db/database.hpp \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef \
+ /root/repo/src/db/layout.hpp /root/repo/src/common/stats.hpp \
+ /root/repo/src/db/api.hpp /root/repo/src/db/controller_schema.hpp \
+ /root/repo/src/sim/cpu.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/experiments/audit_runner.hpp \
  /root/repo/src/audit/process.hpp /root/repo/src/audit/engine.hpp \
  /root/repo/src/audit/escalation.hpp /root/repo/src/audit/priority.hpp \
- /root/repo/src/inject/db_injector.hpp /root/repo/src/inject/oracle.hpp \
- /root/repo/src/common/table_printer.hpp \
+ /root/repo/src/sim/reliable.hpp /root/repo/src/inject/db_injector.hpp \
+ /root/repo/src/inject/oracle.hpp /root/repo/src/common/table_printer.hpp \
  /root/repo/src/experiments/prioritized_runner.hpp \
  /root/repo/src/callproc/emulated_client.hpp

@@ -211,21 +211,22 @@ src/experiments/CMakeFiles/wtc_experiments.dir/pecos_runner.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/audit/report.hpp /root/repo/src/db/schema.hpp \
- /root/repo/src/sim/node.hpp /root/repo/src/sim/scheduler.hpp \
+ /root/repo/src/sim/node.hpp /root/repo/src/sim/channel_faults.hpp \
+ /root/repo/src/common/rng.hpp /usr/include/c++/12/limits \
+ /root/repo/src/sim/time.hpp /root/repo/src/sim/scheduler.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp \
- /root/repo/src/common/stats.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/db/database.hpp /usr/include/c++/12/span \
- /root/repo/src/db/layout.hpp /root/repo/src/audit/escalation.hpp \
- /root/repo/src/audit/priority.hpp /root/repo/src/db/api.hpp \
- /root/repo/src/sim/cpu.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/stats.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/db/database.hpp \
+ /usr/include/c++/12/span /root/repo/src/db/layout.hpp \
+ /root/repo/src/audit/escalation.hpp /root/repo/src/audit/priority.hpp \
+ /root/repo/src/db/api.hpp /root/repo/src/sim/cpu.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/inject/client_injector.hpp /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/limits /root/repo/src/vm/cfg.hpp \
+ /root/repo/src/sim/reliable.hpp \
+ /root/repo/src/inject/client_injector.hpp /root/repo/src/vm/cfg.hpp \
  /root/repo/src/vm/program.hpp /root/repo/src/vm/interp.hpp \
  /root/repo/src/inject/outcome.hpp /root/repo/src/callproc/control.hpp \
  /root/repo/src/callproc/vm_driver.hpp \

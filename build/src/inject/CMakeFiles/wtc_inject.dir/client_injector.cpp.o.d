@@ -211,16 +211,16 @@ src/inject/CMakeFiles/wtc_inject.dir/client_injector.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/sim/channel_faults.hpp /root/repo/src/sim/time.hpp \
  /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp \
- /root/repo/src/vm/cfg.hpp /root/repo/src/vm/program.hpp \
- /root/repo/src/vm/interp.hpp /root/repo/src/db/api.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/db/database.hpp /root/repo/src/db/layout.hpp \
- /root/repo/src/db/schema.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/vm/cfg.hpp \
+ /root/repo/src/vm/program.hpp /root/repo/src/vm/interp.hpp \
+ /root/repo/src/db/api.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/db/database.hpp \
+ /root/repo/src/db/layout.hpp /root/repo/src/db/schema.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

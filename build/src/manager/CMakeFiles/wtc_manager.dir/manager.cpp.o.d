@@ -102,8 +102,7 @@ src/manager/CMakeFiles/wtc_manager.dir/manager.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /root/repo/src/sim/node.hpp \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -208,16 +207,21 @@ src/manager/CMakeFiles/wtc_manager.dir/manager.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /root/repo/src/sim/node.hpp /root/repo/src/sim/channel_faults.hpp \
+ /root/repo/src/common/rng.hpp /usr/include/c++/12/limits \
+ /root/repo/src/sim/time.hpp /root/repo/src/sim/scheduler.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/reliable.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/audit/messages.hpp /root/repo/src/db/api.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/db/database.hpp /usr/include/c++/12/optional \
- /root/repo/src/db/layout.hpp /root/repo/src/db/schema.hpp \
- /root/repo/src/common/log.hpp /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/db/database.hpp /root/repo/src/db/layout.hpp \
+ /root/repo/src/db/schema.hpp /root/repo/src/common/log.hpp \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

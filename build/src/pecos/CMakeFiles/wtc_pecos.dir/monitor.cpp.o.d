@@ -215,8 +215,9 @@ src/pecos/CMakeFiles/wtc_pecos.dir/monitor.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/db/layout.hpp \
  /root/repo/src/db/schema.hpp /root/repo/src/sim/node.hpp \
+ /root/repo/src/sim/channel_faults.hpp /root/repo/src/sim/time.hpp \
  /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp
+ /usr/include/c++/12/bits/unordered_set.h

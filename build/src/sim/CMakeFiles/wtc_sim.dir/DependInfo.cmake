@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/wtc_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/wtc_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/reliable.cpp" "src/sim/CMakeFiles/wtc_sim.dir/reliable.cpp.o" "gcc" "src/sim/CMakeFiles/wtc_sim.dir/reliable.cpp.o.d"
   "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/wtc_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/wtc_sim.dir/scheduler.cpp.o.d"
   )
 

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/wtc_sim.dir/node.cpp.o"
   "CMakeFiles/wtc_sim.dir/node.cpp.o.d"
+  "CMakeFiles/wtc_sim.dir/reliable.cpp.o"
+  "CMakeFiles/wtc_sim.dir/reliable.cpp.o.d"
   "CMakeFiles/wtc_sim.dir/scheduler.cpp.o"
   "CMakeFiles/wtc_sim.dir/scheduler.cpp.o.d"
   "libwtc_sim.a"

@@ -296,9 +296,10 @@ tests/CMakeFiles/test_db_api.dir/test_db_api.cpp.o: \
  /root/repo/src/db/api.hpp /usr/include/c++/12/span \
  /root/repo/src/db/database.hpp /root/repo/src/db/layout.hpp \
  /root/repo/src/db/schema.hpp /root/repo/src/sim/node.hpp \
- /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp \
+ /root/repo/src/sim/channel_faults.hpp /root/repo/src/common/rng.hpp \
+ /root/repo/src/sim/time.hpp /root/repo/src/sim/scheduler.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/db/controller_schema.hpp /root/repo/src/db/direct.hpp

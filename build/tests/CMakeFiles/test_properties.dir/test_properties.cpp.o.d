@@ -295,14 +295,14 @@ tests/CMakeFiles/test_properties.dir/test_properties.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/audit/engine.hpp /root/repo/src/audit/report.hpp \
  /root/repo/src/db/schema.hpp /root/repo/src/sim/node.hpp \
- /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp \
- /root/repo/src/common/stats.hpp /root/repo/src/db/database.hpp \
- /usr/include/c++/12/span /root/repo/src/db/layout.hpp \
- /root/repo/src/callproc/vm_program.hpp \
+ /root/repo/src/sim/channel_faults.hpp /root/repo/src/common/rng.hpp \
+ /root/repo/src/sim/time.hpp /root/repo/src/sim/scheduler.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/stats.hpp \
+ /root/repo/src/db/database.hpp /usr/include/c++/12/span \
+ /root/repo/src/db/layout.hpp /root/repo/src/callproc/vm_program.hpp \
  /root/repo/src/db/controller_schema.hpp /root/repo/src/vm/program.hpp \
- /root/repo/src/common/rng.hpp /root/repo/src/db/api.hpp \
- /root/repo/src/inject/oracle.hpp /root/repo/src/vm/interp.hpp
+ /root/repo/src/db/api.hpp /root/repo/src/inject/oracle.hpp \
+ /root/repo/src/vm/interp.hpp

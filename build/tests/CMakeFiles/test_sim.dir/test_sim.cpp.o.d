@@ -298,6 +298,7 @@ tests/CMakeFiles/test_sim.dir/test_sim.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/time.hpp /root/repo/src/sim/node.hpp \
+ /root/repo/src/sim/channel_faults.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \

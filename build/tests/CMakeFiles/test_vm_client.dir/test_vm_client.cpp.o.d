@@ -298,14 +298,14 @@ tests/CMakeFiles/test_vm_client.dir/test_vm_client.cpp.o: \
  /root/repo/src/callproc/vm_driver.hpp \
  /root/repo/src/callproc/control.hpp /root/repo/src/audit/report.hpp \
  /root/repo/src/db/schema.hpp /root/repo/src/sim/node.hpp \
- /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/time.hpp /root/repo/src/db/database.hpp \
+ /root/repo/src/sim/channel_faults.hpp /root/repo/src/common/rng.hpp \
+ /root/repo/src/sim/time.hpp /root/repo/src/sim/scheduler.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/db/database.hpp \
  /usr/include/c++/12/span /root/repo/src/db/layout.hpp \
- /root/repo/src/common/rng.hpp /root/repo/src/db/api.hpp \
- /root/repo/src/sim/cpu.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/db/api.hpp /root/repo/src/sim/cpu.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/vm/interp.hpp /root/repo/src/vm/program.hpp \

@@ -18,6 +18,7 @@ std::string_view technique_name(Technique technique) noexcept {
     case Technique::SemanticCheck: return "semantic-check";
     case Technique::SelectiveMonitor: return "selective-monitor";
     case Technique::ProgressIndicator: return "progress-indicator";
+    case Technique::ElementQuarantine: return "element-quarantine";
   }
   return "?";
 }
@@ -38,6 +39,7 @@ std::string_view to_string(Recovery recovery) noexcept {
     case Recovery::FreeRecord: return "free-record";
     case Recovery::TerminateClientThread: return "terminate-client-thread";
     case Recovery::KillClientProcess: return "kill-client-process";
+    case Recovery::DisableElement: return "disable-element";
   }
   return "?";
 }

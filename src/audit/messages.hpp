@@ -9,14 +9,28 @@
 
 namespace wtc::audit::msg {
 
-/// Manager -> audit: heartbeat query. args: {sequence}.
+/// Manager -> audit: heartbeat query. args: {sequence, audit epoch}. The
+/// epoch is the manager's count of audit spawns; replies echo it so a
+/// reply from a previous audit incarnation (in flight across a restart)
+/// is never mistaken for liveness of the new one.
 inline constexpr std::uint32_t kHeartbeat = 1;
-/// Audit -> manager: heartbeat reply. args: {sequence}.
+/// Audit -> manager: heartbeat reply. args: {sequence, audit epoch}.
 inline constexpr std::uint32_t kHeartbeatReply = 2;
 /// DB API -> audit: an API function was called (§4.2: "send a message to
 /// the audit process whenever any API function is called").
 /// args: {client pid, op, table, record, is_update}.
 inline constexpr std::uint32_t kApiActivity = 3;
+/// Active manager -> standby peer: the duplicated-manager liveness
+/// exchange. args: {term, sequence, audit pid, audit epoch}; the standby
+/// adopts the supervision state so a takeover resumes where the dead
+/// active left off.
+inline constexpr std::uint32_t kPeerHeartbeat = 4;
+
+/// Reliable-delivery channel ids (see sim/reliable.hpp): one per logical
+/// stream so dedup state never crosses streams of the same process.
+inline constexpr std::uint32_t kChannelManagerHeartbeat = 1;
+inline constexpr std::uint32_t kChannelAuditReply = 2;
+inline constexpr std::uint32_t kChannelApiEvents = 3;
 
 /// Packs an ApiEvent into an IPC message.
 [[nodiscard]] inline sim::Message make_activity(const db::ApiEvent& event) {

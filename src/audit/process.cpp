@@ -1,5 +1,7 @@
 #include "audit/process.hpp"
 
+#include <algorithm>
+
 #include "audit/messages.hpp"
 #include "common/log.hpp"
 #include "db/direct.hpp"
@@ -40,25 +42,131 @@ AuditProcess::AuditProcess(db::Database& db, sim::Cpu& cpu,
   if (config_.low_resource_trigger) {
     add_element(std::make_unique<LowResourceTriggerElement>());
   }
+  if (config_.reliable_ipc) {
+    reply_sender_.emplace(*this, msg::kChannelAuditReply,
+                          []() { return sim::kNoProcess; }, config_.reliable);
+  }
 }
 
 void AuditProcess::add_element(std::unique_ptr<AuditElement> element) {
-  elements_.push_back(std::move(element));
+  elements_.push_back(ElementSlot{std::move(element), {}, false});
 }
 
 void AuditProcess::on_start() {
-  for (const auto& element : elements_) {
-    element->on_start(*this);
+  for (auto& slot : elements_) {
+    if (slot.disabled) {
+      continue;
+    }
+    try {
+      slot.element->on_start(*this);
+    } catch (...) {
+      note_element_fault(slot);
+    }
   }
 }
 
 void AuditProcess::on_message(const sim::Message& message) {
-  // The main thread's job (§4): route each message to the elements that
-  // registered for its type.
-  for (const auto& element : elements_) {
-    if (element->accepts(message.type)) {
-      element->on_message(*this, message);
+  // Reliable-layer housekeeping first: acks for our own reliable replies,
+  // then unwrap (+ack, +dedup) incoming reliable frames.
+  if (reply_sender_ && reply_sender_->on_message(message)) {
+    return;
+  }
+  if (sim::ReliableReceiver::is_frame(message)) {
+    if (const auto inner = receiver_.accept(message)) {
+      dispatch(*inner);
     }
+    return;
+  }
+  dispatch(message);
+}
+
+void AuditProcess::dispatch(const sim::Message& message) {
+  // The main thread's job (§4): route each message to the elements that
+  // registered for its type. A throwing element is an element fault, not
+  // a process death — the rest of the audit keeps running.
+  for (auto& slot : elements_) {
+    if (slot.disabled || !slot.element->accepts(message.type)) {
+      continue;
+    }
+    try {
+      slot.element->on_message(*this, message);
+    } catch (...) {
+      note_element_fault(slot);
+    }
+  }
+}
+
+void AuditProcess::guarded(AuditElement& element, const std::function<void()>& fn) {
+  for (auto& slot : elements_) {
+    if (slot.element.get() != &element) {
+      continue;
+    }
+    if (slot.disabled) {
+      return;
+    }
+    try {
+      fn();
+    } catch (...) {
+      note_element_fault(slot);
+    }
+    return;
+  }
+  fn();  // not a registered element: run unguarded
+}
+
+void AuditProcess::note_element_fault(ElementSlot& slot) {
+  ++faults_;
+  const sim::Time now = node().now();
+  const sim::Time horizon =
+      now > static_cast<sim::Time>(config_.quarantine_window)
+          ? now - static_cast<sim::Time>(config_.quarantine_window)
+          : 0;
+  auto& times = slot.fault_times;
+  times.erase(std::remove_if(times.begin(), times.end(),
+                             [horizon](sim::Time t) { return t < horizon; }),
+              times.end());
+  times.push_back(now);
+  common::log(common::LogLevel::Warn, "audit", "element '",
+              slot.element->name(), "' faulted (", times.size(),
+              " in window)");
+  if (!config_.quarantine || times.size() < config_.quarantine_max_faults) {
+    return;
+  }
+  // Graceful degradation: disable the element and report the quarantine
+  // as a finding so the operator (and the oracle) see the coverage loss.
+  slot.disabled = true;
+  common::log(common::LogLevel::Warn, "audit", "element '",
+              slot.element->name(), "' quarantined after ", times.size(),
+              " faults within window");
+  Finding finding;
+  finding.technique = Technique::ElementQuarantine;
+  finding.recovery = Recovery::DisableElement;
+  finding.time = now;
+  engine_.report_external(finding);
+}
+
+bool AuditProcess::element_disabled(std::string_view name) const {
+  for (const auto& slot : elements_) {
+    if (slot.element->name() == name) {
+      return slot.disabled;
+    }
+  }
+  return false;
+}
+
+std::uint32_t AuditProcess::quarantined_count() const noexcept {
+  std::uint32_t count = 0;
+  for (const auto& slot : elements_) {
+    count += slot.disabled ? 1u : 0u;
+  }
+  return count;
+}
+
+void AuditProcess::send_reply(sim::ProcessId to, sim::Message message) {
+  if (reply_sender_) {
+    reply_sender_->send_to(to, std::move(message));
+  } else {
+    node().send(to, std::move(message));
   }
 }
 
@@ -77,8 +185,8 @@ void HeartbeatElement::on_message(AuditProcess& process,
   sim::Message reply;
   reply.from = process.pid();
   reply.type = msg::kHeartbeatReply;
-  reply.args = message.args;
-  process.node().send(message.from, std::move(reply));
+  reply.args = message.args;  // echoes {sequence, audit epoch}
+  process.send_reply(message.from, std::move(reply));
 }
 
 // --- ProgressIndicatorElement ---
@@ -93,8 +201,9 @@ void ProgressIndicatorElement::on_message(AuditProcess&, const sim::Message&) {
 
 void ProgressIndicatorElement::on_start(AuditProcess& process) {
   last_seen_ = counter_;
-  process.schedule_after(process.config().progress_timeout,
-                         [this, &process]() { check(process); });
+  process.schedule_after(process.config().progress_timeout, [this, &process]() {
+    process.guarded(*this, [this, &process]() { check(process); });
+  });
 }
 
 void ProgressIndicatorElement::check(AuditProcess& process) {
@@ -125,15 +234,17 @@ void ProgressIndicatorElement::check(AuditProcess& process) {
     }
   }
   last_seen_ = counter_;
-  process.schedule_after(process.config().progress_timeout,
-                         [this, &process]() { check(process); });
+  process.schedule_after(process.config().progress_timeout, [this, &process]() {
+    process.guarded(*this, [this, &process]() { check(process); });
+  });
 }
 
 // --- PeriodicAuditElement ---
 
 void PeriodicAuditElement::on_start(AuditProcess& process) {
-  process.schedule_after(process.config().period,
-                         [this, &process]() { tick(process); });
+  process.schedule_after(process.config().period, [this, &process]() {
+    process.guarded(*this, [this, &process]() { tick(process); });
+  });
 }
 
 void PeriodicAuditElement::tick(AuditProcess& process) {
@@ -174,8 +285,9 @@ void PeriodicAuditElement::tick(AuditProcess& process) {
 
   process.book_cpu(result.cost);
   process.note_cycle(result);
-  process.schedule_after(process.config().period,
-                         [this, &process]() { tick(process); });
+  process.schedule_after(process.config().period, [this, &process]() {
+    process.guarded(*this, [this, &process]() { tick(process); });
+  });
 }
 
 // --- EventTriggeredAuditElement ---
@@ -199,8 +311,9 @@ void EventTriggeredAuditElement::on_message(AuditProcess& process,
 // --- LowResourceTriggerElement ---
 
 void LowResourceTriggerElement::on_start(AuditProcess& process) {
-  process.schedule_after(process.config().low_resource_period,
-                         [this, &process]() { scan(process); });
+  process.schedule_after(process.config().low_resource_period, [this, &process]() {
+    process.guarded(*this, [this, &process]() { scan(process); });
+  });
 }
 
 void LowResourceTriggerElement::scan(AuditProcess& process) {
@@ -233,8 +346,9 @@ void LowResourceTriggerElement::scan(AuditProcess& process) {
     }
     process.book_cpu(result.cost);
   }
-  process.schedule_after(process.config().low_resource_period,
-                         [this, &process]() { scan(process); });
+  process.schedule_after(process.config().low_resource_period, [this, &process]() {
+    process.guarded(*this, [this, &process]() { scan(process); });
+  });
 }
 
 // --- IpcNotificationSink ---
@@ -244,6 +358,47 @@ void IpcNotificationSink::on_api_event(const db::ApiEvent& event) {
   if (audit != sim::kNoProcess) {
     node_.send(audit, msg::make_activity(event));
   }
+}
+
+// --- ReliableIpcSink ---
+
+/// The sender side of the reliable queue: a process so retry timers have
+/// an owner and acks have an addressee.
+class ReliableIpcSink::Courier final : public sim::Process {
+ public:
+  Courier(std::function<sim::ProcessId()> audit_pid, sim::ReliableConfig config)
+      : audit_pid_(std::move(audit_pid)),
+        sender_(*this, msg::kChannelApiEvents,
+                [this]() { return audit_pid_(); }, config) {}
+
+  void on_message(const sim::Message& message) override {
+    sender_.on_message(message);
+  }
+
+  void forward(sim::Message message) { sender_.send(std::move(message)); }
+
+  [[nodiscard]] const sim::ReliableSender& sender() const noexcept {
+    return sender_;
+  }
+
+ private:
+  std::function<sim::ProcessId()> audit_pid_;
+  sim::ReliableSender sender_;
+};
+
+ReliableIpcSink::ReliableIpcSink(sim::Node& node,
+                                 std::function<sim::ProcessId()> audit_pid,
+                                 sim::ReliableConfig config)
+    : courier_(std::make_shared<Courier>(std::move(audit_pid), config)) {
+  node.spawn("ipc-courier", courier_);
+}
+
+void ReliableIpcSink::on_api_event(const db::ApiEvent& event) {
+  courier_->forward(msg::make_activity(event));
+}
+
+const sim::ReliableSender& ReliableIpcSink::sender() const {
+  return courier_->sender();
 }
 
 }  // namespace wtc::audit

@@ -20,6 +20,7 @@
 #include "db/api.hpp"
 #include "sim/cpu.hpp"
 #include "sim/node.hpp"
+#include "sim/reliable.hpp"
 
 namespace wtc::audit {
 
@@ -80,6 +81,20 @@ struct AuditProcessConfig {
   /// localized repairs to a table reload, then to a full reload.
   bool escalation = false;
   EscalationConfig escalation_config;
+
+  /// Reliable IPC: heartbeat replies are sent through the reliable
+  /// delivery layer (ack + retry) instead of fire-and-forget, so a lossy
+  /// queue does not masquerade as a dead audit process.
+  bool reliable_ipc = false;
+  sim::ReliableConfig reliable;
+
+  /// Element quarantine (graceful degradation): an element that throws
+  /// `quarantine_max_faults` times within `quarantine_window` is disabled
+  /// and reported as a finding; the remaining elements keep running
+  /// instead of the whole audit process dying with it.
+  bool quarantine = true;
+  std::uint32_t quarantine_max_faults = 3;
+  sim::Duration quarantine_window = 10 * static_cast<sim::Duration>(sim::kSecond);
 };
 
 class AuditProcess final : public sim::Process {
@@ -92,6 +107,21 @@ class AuditProcess final : public sim::Process {
 
   /// Framework API: registers an element (before or after start).
   void add_element(std::unique_ptr<AuditElement> element);
+
+  /// Runs `fn` on behalf of `element` under the quarantine guard: skipped
+  /// if the element is disabled, and a throw counts as an element fault.
+  /// Elements route their self-scheduled timer work through this so a
+  /// crashing element cannot take the audit process down from a timer.
+  void guarded(AuditElement& element, const std::function<void()>& fn);
+
+  /// Sends a reply through the reliable layer when `reliable_ipc` is on,
+  /// plain fire-and-forget otherwise.
+  void send_reply(sim::ProcessId to, sim::Message message);
+
+  [[nodiscard]] bool element_disabled(std::string_view name) const;
+  /// Elements currently quarantined / element faults caught so far.
+  [[nodiscard]] std::uint32_t quarantined_count() const noexcept;
+  [[nodiscard]] std::uint64_t element_faults() const noexcept { return faults_; }
 
   [[nodiscard]] AuditEngine& engine() noexcept { return engine_; }
   [[nodiscard]] db::Database& database() noexcept { return db_; }
@@ -115,6 +145,16 @@ class AuditProcess final : public sim::Process {
   [[nodiscard]] sim::Duration total_cost() const noexcept { return total_cost_; }
 
  private:
+  /// One registered element plus its quarantine bookkeeping.
+  struct ElementSlot {
+    std::unique_ptr<AuditElement> element;
+    std::vector<sim::Time> fault_times;  // within the quarantine window
+    bool disabled = false;
+  };
+
+  void dispatch(const sim::Message& message);
+  void note_element_fault(ElementSlot& slot);
+
   db::Database& db_;
   sim::Cpu& cpu_;
   AuditProcessConfig config_;
@@ -123,9 +163,12 @@ class AuditProcess final : public sim::Process {
   AuditEngine engine_;
   PriorityScheduler scheduler_;
   ClientControl* control_;
-  std::vector<std::unique_ptr<AuditElement>> elements_;
+  std::vector<ElementSlot> elements_;
+  sim::ReliableReceiver receiver_{*this};
+  std::optional<sim::ReliableSender> reply_sender_;
   std::uint64_t cycles_ = 0;
   sim::Duration total_cost_ = 0;
+  std::uint64_t faults_ = 0;
 };
 
 // --- standard elements ---
@@ -211,6 +254,26 @@ class IpcNotificationSink final : public db::NotificationSink {
  private:
   sim::Node& node_;
   std::function<sim::ProcessId()> audit_pid_;
+};
+
+/// Reliable variant of IpcNotificationSink: API events are framed through
+/// the reliable delivery layer, so a lossy queue loses no audit triggers
+/// and a duplicating queue never double-fires the event audit. A small
+/// courier process (the sender side of the message-queue library) owns
+/// the retry state and consumes acks.
+class ReliableIpcSink final : public db::NotificationSink {
+ public:
+  ReliableIpcSink(sim::Node& node, std::function<sim::ProcessId()> audit_pid,
+                  sim::ReliableConfig config = {});
+
+  void on_api_event(const db::ApiEvent& event) override;
+
+  /// Sender-side delivery stats (retries, abandoned frames) for tests.
+  [[nodiscard]] const sim::ReliableSender& sender() const;
+
+ private:
+  class Courier;
+  std::shared_ptr<Courier> courier_;
 };
 
 }  // namespace wtc::audit

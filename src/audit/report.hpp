@@ -18,6 +18,7 @@ enum class Technique : std::uint8_t {
   SemanticCheck,      ///< referential-integrity loop audit (§4.3.3)
   SelectiveMonitor,   ///< runtime-derived invariants (§4.4.2)
   ProgressIndicator,  ///< database deadlock detection (§4.2)
+  ElementQuarantine,  ///< audit main thread caught a faulty element
 };
 
 /// Which recovery action accompanied the detection.
@@ -30,6 +31,7 @@ enum class Recovery : std::uint8_t {
   FreeRecord,   ///< record freed preemptively (drops one call)
   TerminateClientThread,  ///< offending client thread terminated
   KillClientProcess,      ///< lock-holding client killed (progress indicator)
+  DisableElement,         ///< repeatedly-crashing audit element quarantined
 };
 
 [[nodiscard]] std::string_view to_string(Technique technique) noexcept;

@@ -1,0 +1,71 @@
+// Unreliable-IPC fault model for the simulated node.
+//
+// The paper's environment uses real POSIX message queues between the DB
+// API, the audit process, and the duplicated manager; under overload those
+// queues lose, duplicate, and delay messages. `ChannelFaults` injects
+// exactly those failures into `Node::send` — seeded and deterministic, so
+// a run with faults is as reproducible as one without — and keeps
+// per-link accounting that tests and benches assert on.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "sim/time.hpp"
+
+namespace wtc::sim {
+
+struct ChannelFaultsConfig {
+  /// Probability a message is lost in transit (never delivered).
+  double drop_probability = 0.0;
+  /// Probability a delivered message is delivered twice (MQ redelivery).
+  double duplicate_probability = 0.0;
+  /// Extra delivery delay, uniform in [0, jitter_max], per copy.
+  Duration jitter_max = 0;
+  std::uint64_t seed = 0xC4A27E15FA0715ull;
+};
+
+/// Per-directed-link (from, to) delivery accounting. `sent` counts send()
+/// calls; `delivered` counts copies handed to a live receiver (duplicates
+/// deliver twice); `dead_letters` counts copies that arrived after the
+/// receiver died.
+struct LinkCounters {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t dead_letters = 0;
+};
+
+/// The fault lottery + counters. Owned by `Node`; split out so benches can
+/// interrogate it without widening the Node interface further.
+class ChannelFaults {
+ public:
+  explicit ChannelFaults(ChannelFaultsConfig config)
+      : config_(config), rng_(config.seed) {}
+
+  [[nodiscard]] const ChannelFaultsConfig& config() const noexcept {
+    return config_;
+  }
+
+  [[nodiscard]] bool should_drop() noexcept {
+    return config_.drop_probability > 0.0 && rng_.chance(config_.drop_probability);
+  }
+  [[nodiscard]] bool should_duplicate() noexcept {
+    return config_.duplicate_probability > 0.0 &&
+           rng_.chance(config_.duplicate_probability);
+  }
+  [[nodiscard]] Duration jitter() noexcept {
+    return config_.jitter_max > 0
+               ? static_cast<Duration>(rng_.uniform(
+                     static_cast<std::uint64_t>(config_.jitter_max) + 1))
+               : 0;
+  }
+
+ private:
+  ChannelFaultsConfig config_;
+  common::Rng rng_;
+};
+
+}  // namespace wtc::sim

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/log.hpp"
+
 namespace wtc::sim {
 
 EventId Process::schedule_after(Duration delay, std::function<void()> fn) {
@@ -59,12 +61,49 @@ std::string Node::name_of(ProcessId pid) const {
 }
 
 void Node::send(ProcessId to, Message message, Duration delay) {
+  const std::uint64_t key = link_key(message.from, to);
+  ++links_[key].sent;
+  ++totals_.sent;
+  if (faults_) {
+    if (faults_->should_drop()) {
+      ++links_[key].dropped;
+      ++totals_.dropped;
+      common::log(common::LogLevel::Debug, "sim", "channel dropped message type ",
+                  message.type, " from ", message.from, " to ", to);
+      return;
+    }
+    if (faults_->should_duplicate()) {
+      ++links_[key].duplicated;
+      ++totals_.duplicated;
+      deliver(to, message, delay + faults_->jitter());
+    }
+    delay += faults_->jitter();
+  }
+  deliver(to, std::move(message), delay);
+}
+
+void Node::deliver(ProcessId to, const Message& message, Duration delay) {
+  const std::uint64_t key = link_key(message.from, to);
   scheduler_.schedule_after(static_cast<Time>(delay),
-                            [this, to, message = std::move(message)]() {
+                            [this, to, key, message]() {
                               if (auto process = find(to)) {
+                                ++links_[key].delivered;
+                                ++totals_.delivered;
                                 process->on_message(message);
+                              } else {
+                                ++links_[key].dead_letters;
+                                ++totals_.dead_letters;
+                                common::log(common::LogLevel::Debug, "sim",
+                                            "dead letter: message type ",
+                                            message.type, " from ", message.from,
+                                            " to dead process ", to);
                               }
                             });
+}
+
+LinkCounters Node::link_counters(ProcessId from, ProcessId to) const {
+  auto it = links_.find(link_key(from, to));
+  return it == links_.end() ? LinkCounters{} : it->second;
 }
 
 std::shared_ptr<Process> Node::find(ProcessId pid) const {

@@ -12,10 +12,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/channel_faults.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
@@ -88,9 +90,31 @@ class Node {
   [[nodiscard]] std::string name_of(ProcessId pid) const;
 
   /// Queues `message` for delivery to `to` after `delay` (default: the IPC
-  /// queue latency). Messages to dead processes are silently dropped, as
-  /// with a real message queue whose reader has exited.
+  /// queue latency). Messages to dead processes become dead letters (as
+  /// with a real message queue whose reader has exited): counted, logged
+  /// at debug level, and otherwise dropped. When a channel-fault model is
+  /// installed the message may additionally be dropped, duplicated, or
+  /// delay-jittered in transit.
   void send(ProcessId to, Message message, Duration delay = kDefaultIpcDelay);
+
+  /// Installs (or replaces) the unreliable-IPC fault model applied to
+  /// every subsequent send().
+  void set_channel_faults(ChannelFaultsConfig config) {
+    faults_.emplace(config);
+  }
+  void clear_channel_faults() noexcept { faults_.reset(); }
+  [[nodiscard]] bool has_channel_faults() const noexcept {
+    return faults_.has_value();
+  }
+
+  /// Delivery accounting for the directed link `from -> to` (zeros if the
+  /// link never carried traffic) and across all links.
+  [[nodiscard]] LinkCounters link_counters(ProcessId from, ProcessId to) const;
+  [[nodiscard]] const LinkCounters& totals() const noexcept { return totals_; }
+  /// Messages that reached a dead receiver (all links).
+  [[nodiscard]] std::uint64_t dead_letter_count() const noexcept {
+    return totals_.dead_letters;
+  }
 
   /// Looks up a live process by pid; nullptr if dead/unknown.
   [[nodiscard]] std::shared_ptr<Process> find(ProcessId pid) const;
@@ -113,10 +137,19 @@ class Node {
     std::uint64_t incarnation;
   };
 
+  static constexpr std::uint64_t link_key(ProcessId from, ProcessId to) noexcept {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
+  void deliver(ProcessId to, const Message& message, Duration delay);
+
   Scheduler& scheduler_;
   std::unordered_map<ProcessId, Slot> table_;
   ProcessId next_pid_ = 1;
   std::uint64_t next_incarnation_ = 1;
+  std::optional<ChannelFaults> faults_;
+  std::unordered_map<std::uint64_t, LinkCounters> links_;
+  LinkCounters totals_;
 };
 
 }  // namespace wtc::sim

@@ -1,0 +1,130 @@
+#include "sim/reliable.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace wtc::sim {
+
+ReliableSender::ReliableSender(Process& owner, std::uint32_t channel,
+                               std::function<ProcessId()> dest,
+                               ReliableConfig config)
+    : owner_(owner),
+      channel_(channel),
+      dest_(std::move(dest)),
+      config_(config) {}
+
+std::uint64_t ReliableSender::send(Message inner) {
+  Pending pending;
+  pending.frame.args = {channel_, 0, inner.type,
+                        static_cast<std::uint64_t>(inner.from)};
+  pending.frame.args.insert(pending.frame.args.end(), inner.args.begin(),
+                            inner.args.end());
+  return launch(std::move(pending));
+}
+
+std::uint64_t ReliableSender::send_to(ProcessId to, Message inner) {
+  Pending pending;
+  pending.fixed_to = to;
+  pending.frame.args = {channel_, 0, inner.type,
+                        static_cast<std::uint64_t>(inner.from)};
+  pending.frame.args.insert(pending.frame.args.end(), inner.args.begin(),
+                            inner.args.end());
+  return launch(std::move(pending));
+}
+
+std::uint64_t ReliableSender::launch(Pending pending) {
+  const std::uint64_t seq = ++next_seq_;
+  pending.frame.type = kReliableData;
+  pending.frame.from = owner_.pid();
+  pending.frame.args[1] = seq;
+  pending.next_delay = config_.retry_after;
+  pending_.emplace(seq, std::move(pending));
+  transmit(seq);
+  return seq;
+}
+
+void ReliableSender::transmit(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) {
+    return;
+  }
+  Pending& pending = it->second;
+  ++pending.attempts;
+  ++sent_;
+  const ProcessId to =
+      pending.fixed_to != kNoProcess ? pending.fixed_to : dest_();
+  if (to != kNoProcess) {
+    owner_.node().send(to, pending.frame);
+  }
+  arm_retry(seq);
+}
+
+void ReliableSender::arm_retry(std::uint64_t seq) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) {
+    return;
+  }
+  const Duration delay = it->second.next_delay;
+  owner_.schedule_after(delay, [this, seq]() {
+    auto pending = pending_.find(seq);
+    if (pending == pending_.end()) {
+      return;  // acked in the meantime
+    }
+    if (pending->second.attempts >= config_.max_attempts) {
+      ++abandoned_;
+      common::log(common::LogLevel::Debug, "sim",
+                  "reliable channel ", channel_, " abandoning seq ", seq,
+                  " after ", pending->second.attempts, " attempts");
+      pending_.erase(pending);
+      return;
+    }
+    pending->second.next_delay = static_cast<Duration>(
+        static_cast<double>(pending->second.next_delay) * config_.backoff);
+    ++retries_;
+    transmit(seq);
+  });
+}
+
+bool ReliableSender::on_message(const Message& message) {
+  if (message.type != kReliableAck || message.args.size() < 2 ||
+      message.args[0] != channel_) {
+    return false;
+  }
+  if (pending_.erase(message.args[1]) > 0) {
+    ++acked_;
+  }
+  return true;
+}
+
+std::optional<Message> ReliableReceiver::accept(const Message& frame) {
+  const std::uint64_t channel = frame.args[0];
+  const std::uint64_t seq = frame.args[1];
+
+  Message ack;
+  ack.from = owner_.pid();
+  ack.type = kReliableAck;
+  ack.args = {channel, seq};
+  owner_.node().send(frame.from, std::move(ack));
+
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(frame.from) << 32) | (channel & 0xFFFFFFFFu);
+  Stream& stream = streams_[key];
+  if (seq <= stream.floor || stream.above.contains(seq)) {
+    ++duplicates_dropped_;
+    return std::nullopt;
+  }
+  stream.above.insert(seq);
+  while (stream.above.erase(stream.floor + 1) > 0) {
+    ++stream.floor;
+  }
+
+  ++accepted_;
+  Message inner;
+  inner.type = static_cast<std::uint32_t>(frame.args[2]);
+  inner.from = static_cast<ProcessId>(frame.args[3]);
+  inner.args.assign(frame.args.begin() + 4, frame.args.end());
+  return inner;
+}
+
+}  // namespace wtc::sim

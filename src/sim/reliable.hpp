@@ -1,0 +1,132 @@
+// Reliable delivery over the unreliable IPC channel.
+//
+// The §4.1 heartbeat and the DB-API→audit event stream must survive a
+// message queue that loses, duplicates, and delays messages (see
+// `ChannelFaults`). This is the classic fix, kept deliberately small:
+// the sender wraps each payload in a sequence-numbered frame and retries
+// with exponential backoff until an ack arrives or a bounded attempt
+// budget is exhausted; the receiver acks every frame and suppresses
+// redeliveries, so the payload is handed to the application exactly once
+// per successful exchange.
+//
+// Frame encoding (over sim::Message):
+//   kReliableData  args = {channel, seq, inner.type, inner.from, inner args...}
+//   kReliableAck   args = {channel, seq}, sent back to frame.from
+//
+// `channel` distinguishes independent streams from the same sender
+// process (e.g. heartbeat queries vs. replies); dedup state is keyed by
+// (sender pid, channel), so a restarted sender — fresh pid — starts a
+// fresh stream instead of colliding with its predecessor's sequence
+// space.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/node.hpp"
+#include "sim/time.hpp"
+
+namespace wtc::sim {
+
+/// Message types of the reliable framing layer; chosen high so they never
+/// collide with application message registries.
+inline constexpr std::uint32_t kReliableData = 0xC0DE0001u;
+inline constexpr std::uint32_t kReliableAck = 0xC0DE0002u;
+
+struct ReliableConfig {
+  /// Delay before the first retransmission of an unacked frame.
+  Duration retry_after = 200 * static_cast<Duration>(kMillisecond);
+  /// Multiplier applied to the retry delay after each attempt.
+  double backoff = 2.0;
+  /// Total transmission attempts (first send included) before giving up.
+  std::uint32_t max_attempts = 5;
+};
+
+/// Sender half. Owned by a `Process`; retry timers are scheduled through
+/// the owner, so they die (and stay dead) with it. The owner must offer
+/// every incoming message to `on_message` so acks are consumed.
+class ReliableSender {
+ public:
+  /// `dest` is re-evaluated at every (re)transmission, so retries follow a
+  /// receiver that was restarted under a new pid.
+  ReliableSender(Process& owner, std::uint32_t channel,
+                 std::function<ProcessId()> dest, ReliableConfig config = {});
+
+  /// Sends `inner` reliably to `dest()`. Returns the frame sequence.
+  std::uint64_t send(Message inner);
+  /// Sends `inner` reliably to a fixed destination (retries keep targeting
+  /// `to`); used for replies, where the destination is the query's sender.
+  std::uint64_t send_to(ProcessId to, Message inner);
+
+  /// Consumes acks for this sender's channel; returns true if `message`
+  /// was one (the caller should not dispatch it further).
+  bool on_message(const Message& message);
+
+  [[nodiscard]] std::uint32_t channel() const noexcept { return channel_; }
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t acked() const noexcept { return acked_; }
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  /// Frames whose attempt budget ran out without an ack.
+  [[nodiscard]] std::uint64_t abandoned() const noexcept { return abandoned_; }
+  [[nodiscard]] std::size_t in_flight() const noexcept { return pending_.size(); }
+
+ private:
+  struct Pending {
+    Message frame;
+    ProcessId fixed_to = kNoProcess;  // kNoProcess: use the dest provider
+    std::uint32_t attempts = 0;
+    Duration next_delay = 0;
+  };
+
+  std::uint64_t launch(Pending pending);
+  void transmit(std::uint64_t seq);
+  void arm_retry(std::uint64_t seq);
+
+  Process& owner_;
+  std::uint32_t channel_;
+  std::function<ProcessId()> dest_;
+  ReliableConfig config_;
+  std::uint64_t next_seq_ = 0;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t acked_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t abandoned_ = 0;
+};
+
+/// Receiver half: acks every data frame and suppresses duplicates.
+class ReliableReceiver {
+ public:
+  explicit ReliableReceiver(Process& owner) : owner_(owner) {}
+
+  [[nodiscard]] static bool is_frame(const Message& message) noexcept {
+    return message.type == kReliableData && message.args.size() >= 4;
+  }
+
+  /// Acks `frame` and unwraps its payload. Returns the inner message on
+  /// first delivery, nullopt for a redelivery. Pre: is_frame(frame).
+  std::optional<Message> accept(const Message& frame);
+
+  [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+  [[nodiscard]] std::uint64_t duplicates_dropped() const noexcept {
+    return duplicates_dropped_;
+  }
+
+ private:
+  /// Dedup state for one (sender, channel) stream: every seq <= floor has
+  /// been seen; `above` holds the out-of-order seqs beyond it.
+  struct Stream {
+    std::uint64_t floor = 0;  // seqs start at 1
+    std::unordered_set<std::uint64_t> above;
+  };
+
+  Process& owner_;
+  std::unordered_map<std::uint64_t, Stream> streams_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
+};
+
+}  // namespace wtc::sim

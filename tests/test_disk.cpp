@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string_view>
 
 #include "db/controller_schema.hpp"
 #include "db/disk.hpp"
@@ -19,6 +20,19 @@ class DiskTest : public ::testing::Test {
   ~DiskTest() override {
     std::error_code ec;
     std::filesystem::remove(path_, ec);
+  }
+
+  /// XORs `mask` into the byte at `offset` of the on-disk image.
+  void flip_byte(std::streamoff offset, int mask) {
+    std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file);
+    char byte = 0;
+    file.seekg(offset);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ mask);
+    file.seekp(offset);
+    file.write(&byte, 1);
+    ASSERT_TRUE(file.good());
   }
 
   std::filesystem::path path_;
@@ -90,6 +104,57 @@ TEST_F(DiskTest, RejectsWrongSchema) {
   Database other(make_bench_schema());
   const auto loaded = load_image(other, path_);
   EXPECT_FALSE(loaded);
+}
+
+TEST_F(DiskTest, EveryRejectionPathLeavesLiveRegionUntouched) {
+  auto db = make_controller_database();
+  ASSERT_TRUE(save_image(*db, path_));
+  const auto image_size = std::filesystem::file_size(path_);
+
+  // Pre-damage the live region so a partial install would be visible as
+  // either a repair or fresh damage.
+  for (std::size_t i = 0; i < db->region().size(); i += 7) {
+    db->region()[i] ^= std::byte{0xA5};
+  }
+  const std::vector<std::byte> damaged(db->region().begin(),
+                                       db->region().end());
+
+  const auto expect_rejected = [&](std::string_view label,
+                                   std::string_view error_needle) {
+    const auto loaded = load_image(*db, path_);
+    EXPECT_FALSE(loaded) << label;
+    EXPECT_NE(loaded.error.find(error_needle), std::string::npos)
+        << label << ": " << loaded.error;
+    EXPECT_TRUE(std::equal(db->region().begin(), db->region().end(),
+                           damaged.begin()))
+        << label << " modified the live region";
+  };
+
+  // (1) Truncated mid-payload: header parses but the payload is short.
+  std::filesystem::resize_file(path_, image_size / 2);
+  expect_rejected("truncated payload", "size mismatch");
+
+  // (1b) Truncated inside the header itself.
+  std::filesystem::resize_file(path_, 8);
+  expect_rejected("truncated header", "truncated");
+
+  // (2) Wrong magic: flip a bit in the first byte of a valid image.
+  ASSERT_TRUE(save_image(*db, path_));
+  flip_byte(0, 0x01);
+  expect_rejected("wrong magic", "not a database image");
+
+  // (3) CRC: flip one payload bit of a valid image.
+  ASSERT_TRUE(save_image(*db, path_));
+  flip_byte(24, 0x40);
+  expect_rejected("flipped payload bit", "checksum");
+
+  // Control: the intact image loads, and only then does the region change.
+  ASSERT_TRUE(save_image(*db, path_));
+  ASSERT_TRUE(load_image(*db, path_));
+  EXPECT_FALSE(std::equal(db->region().begin(), db->region().end(),
+                          damaged.begin()));
+  EXPECT_TRUE(std::equal(db->region().begin(), db->region().end(),
+                         db->pristine().begin()));
 }
 
 TEST_F(DiskTest, RejectsTruncatedAndForeignFiles) {

@@ -77,6 +77,91 @@ TEST(Escalation, RepeatedFindingsTriggerTableReload) {
   EXPECT_EQ(policy.table_reloads(), 1u);
 }
 
+TEST(Escalation, FindingExactlyAtWindowBoundaryStillCounts) {
+  auto db = db::make_controller_database();
+  EscalationConfig config;
+  config.window = 30 * static_cast<sim::Duration>(sim::kSecond);
+  config.table_reload_threshold = 4;
+  CollectingSink sink;
+
+  // Four findings whose spread is EXACTLY the window: the oldest sits on
+  // the horizon (t == now - window) and must still be counted, so the
+  // burst escalates.
+  {
+    EscalationPolicy policy(*db, config);
+    sim::Time start = 100 * sim::kSecond;
+    EXPECT_EQ(policy.on_finding(finding_on(2, start), start, &sink),
+              Recovery::None);
+    EXPECT_EQ(policy.on_finding(finding_on(2, start + 10 * sim::kSecond),
+                                start + 10 * sim::kSecond, &sink),
+              Recovery::None);
+    EXPECT_EQ(policy.on_finding(finding_on(2, start + 20 * sim::kSecond),
+                                start + 20 * sim::kSecond, &sink),
+              Recovery::None);
+    EXPECT_EQ(policy.on_finding(finding_on(2, start + 30 * sim::kSecond),
+                                start + 30 * sim::kSecond, &sink),
+              Recovery::ReloadSpan);
+    EXPECT_EQ(policy.table_reloads(), 1u);
+  }
+
+  // One microsecond wider and the oldest finding ages out: no escalation.
+  {
+    EscalationPolicy policy(*db, config);
+    sim::Time start = 100 * sim::kSecond;
+    policy.on_finding(finding_on(2, start), start, &sink);
+    policy.on_finding(finding_on(2, start + 10 * sim::kSecond),
+                      start + 10 * sim::kSecond, &sink);
+    policy.on_finding(finding_on(2, start + 20 * sim::kSecond),
+                      start + 20 * sim::kSecond, &sink);
+    const sim::Time late = start + 30 * sim::kSecond + 1;
+    EXPECT_EQ(policy.on_finding(finding_on(2, late), late, &sink),
+              Recovery::None);
+    EXPECT_EQ(policy.table_reloads(), 0u);
+  }
+}
+
+TEST(Escalation, CooldownSuppressesReloadWithoutResettingWindow) {
+  auto db = db::make_controller_database();
+  EscalationConfig config;
+  config.window = 30 * static_cast<sim::Duration>(sim::kSecond);
+  config.cooldown = 10 * static_cast<sim::Duration>(sim::kSecond);
+  config.table_reload_threshold = 3;
+  EscalationPolicy policy(*db, config);
+  CollectingSink sink;
+
+  // First burst escalates at t=12s.
+  sim::Time now = 10 * sim::kSecond;
+  policy.on_finding(finding_on(2, now), now, &sink);
+  now += sim::kSecond;
+  policy.on_finding(finding_on(2, now), now, &sink);
+  now += sim::kSecond;
+  ASSERT_EQ(policy.on_finding(finding_on(2, now), now, &sink),
+            Recovery::ReloadSpan);
+  ASSERT_EQ(policy.table_reloads(), 1u);
+  const sim::Time escalated_at = now;  // 12 s
+
+  // A would-be level-1 escalation during cooldown: the threshold is
+  // reached again (3 findings at 13/14/15 s) but nothing reloads and no
+  // escalation finding is re-reported.
+  const std::size_t findings_reported = sink.findings.size();
+  for (int i = 0; i < 3; ++i) {
+    now += sim::kSecond;  // 13 s, 14 s, 15 s — inside the 10 s cooldown
+    EXPECT_EQ(policy.on_finding(finding_on(2, now), now, &sink),
+              Recovery::None);
+  }
+  EXPECT_EQ(policy.table_reloads(), 1u);
+  EXPECT_EQ(sink.findings.size(), findings_reported);
+
+  // ...and the cooldown did NOT reset the sliding window: the findings
+  // accumulated during cooldown still count once it expires, so the very
+  // first finding after the boundary escalates immediately. (Exactly at
+  // the boundary, too: the cooldown test is strict `<`.)
+  now = escalated_at + static_cast<sim::Time>(config.cooldown);  // 22 s
+  EXPECT_EQ(policy.on_finding(finding_on(2, now), now, &sink),
+            Recovery::ReloadSpan);
+  EXPECT_EQ(policy.table_reloads(), 2u);
+}
+
 TEST(Escalation, MultiTableDegenerationTriggersFullReload) {
   auto db = db::make_controller_database();
   const auto ids = db::resolve_controller_ids(db->schema());

@@ -1,0 +1,234 @@
+// The unreliable-IPC fault model (sim::ChannelFaults) and the reliable
+// delivery layer (sim::ReliableSender/Receiver) built on top of it.
+#include <gtest/gtest.h>
+
+#include "sim/node.hpp"
+#include "sim/reliable.hpp"
+
+namespace wtc::sim {
+namespace {
+
+class Probe : public Process {
+ public:
+  void on_message(const Message& message) override {
+    received.push_back(message);
+    received_at.push_back(now());
+  }
+  std::vector<Message> received;
+  std::vector<Time> received_at;
+};
+
+Message typed(ProcessId from, std::uint32_t type, std::vector<std::uint64_t> args = {}) {
+  Message m;
+  m.from = from;
+  m.type = type;
+  m.args = std::move(args);
+  return m;
+}
+
+TEST(ChannelFaults, DropsEverythingAtProbabilityOne) {
+  Scheduler scheduler;
+  Node node(scheduler);
+  node.set_channel_faults({.drop_probability = 1.0});
+  auto probe = std::make_shared<Probe>();
+  const auto pid = node.spawn("probe", probe);
+
+  for (int i = 0; i < 20; ++i) {
+    node.send(pid, typed(kNoProcess, 7));
+  }
+  scheduler.run_until(kSecond);
+
+  EXPECT_TRUE(probe->received.empty());
+  const auto link = node.link_counters(kNoProcess, pid);
+  EXPECT_EQ(link.sent, 20u);
+  EXPECT_EQ(link.dropped, 20u);
+  EXPECT_EQ(link.delivered, 0u);
+  EXPECT_EQ(node.totals().dropped, 20u);
+}
+
+TEST(ChannelFaults, DuplicatesDeliverTwice) {
+  Scheduler scheduler;
+  Node node(scheduler);
+  node.set_channel_faults({.duplicate_probability = 1.0});
+  auto probe = std::make_shared<Probe>();
+  const auto pid = node.spawn("probe", probe);
+
+  node.send(pid, typed(kNoProcess, 9));
+  scheduler.run_until(kSecond);
+
+  EXPECT_EQ(probe->received.size(), 2u);
+  const auto link = node.link_counters(kNoProcess, pid);
+  EXPECT_EQ(link.sent, 1u);
+  EXPECT_EQ(link.duplicated, 1u);
+  EXPECT_EQ(link.delivered, 2u);
+}
+
+TEST(ChannelFaults, JitterIsSeededAndDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    Scheduler scheduler;
+    Node node(scheduler);
+    node.set_channel_faults(
+        {.jitter_max = 10 * static_cast<Duration>(kMillisecond), .seed = seed});
+    auto probe = std::make_shared<Probe>();
+    const auto pid = node.spawn("probe", probe);
+    for (int i = 0; i < 10; ++i) {
+      node.send(pid, typed(kNoProcess, 1));
+    }
+    scheduler.run_until(kSecond);
+    return probe->received_at;
+  };
+
+  const auto a = run(42);
+  const auto b = run(42);
+  const auto c = run(43);
+  ASSERT_EQ(a.size(), 10u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Jitter actually perturbs delivery beyond the base IPC delay.
+  bool any_late = false;
+  for (const Time t : a) {
+    any_late |= t > static_cast<Time>(Node::kDefaultIpcDelay);
+  }
+  EXPECT_TRUE(any_late);
+}
+
+TEST(ChannelFaults, DeadLettersAreCountedNotSilent) {
+  Scheduler scheduler;
+  Node node(scheduler);
+  auto probe = std::make_shared<Probe>();
+  const auto pid = node.spawn("probe", probe);
+  node.kill(pid);
+
+  EXPECT_EQ(node.dead_letter_count(), 0u);
+  node.send(pid, typed(kNoProcess, 3));
+  node.send(pid, typed(kNoProcess, 4));
+  scheduler.run_until(kSecond);
+
+  EXPECT_EQ(node.dead_letter_count(), 2u);
+  EXPECT_EQ(node.link_counters(kNoProcess, pid).dead_letters, 2u);
+  EXPECT_TRUE(probe->received.empty());
+}
+
+/// A process pair exercising the reliable layer: the sender ships `count`
+/// messages; the receiver unwraps, dedups, and records payloads.
+class ReliablePeer : public Process {
+ public:
+  explicit ReliablePeer(ReliableConfig config = {}) : config_(config) {}
+
+  void on_message(const Message& message) override {
+    if (sender && sender->on_message(message)) {
+      return;
+    }
+    if (ReliableReceiver::is_frame(message)) {
+      if (auto inner = receiver.accept(message)) {
+        delivered.push_back(*inner);
+      }
+    }
+  }
+
+  void start_sender(ProcessId to, std::uint32_t channel) {
+    sender.emplace(*this, channel, [to]() { return to; }, config_);
+  }
+
+  ReliableConfig config_;
+  std::optional<ReliableSender> sender;
+  ReliableReceiver receiver{*this};
+  std::vector<Message> delivered;
+};
+
+TEST(Reliable, DeliversExactlyOnceOverLossyDuplicatingChannel) {
+  Scheduler scheduler;
+  Node node(scheduler);
+  node.set_channel_faults({.drop_probability = 0.3,
+                           .duplicate_probability = 0.2,
+                           .jitter_max = 5 * static_cast<Duration>(kMillisecond),
+                           .seed = 7});
+
+  // Enough attempts that 30% loss cannot plausibly exhaust the budget
+  // (an attempt needs data AND ack through: ~0.51 failure each, ^12 per
+  // message), with a gentle backoff so all retries fit the horizon.
+  ReliableConfig config;
+  config.retry_after = 50 * static_cast<Duration>(kMillisecond);
+  config.backoff = 1.5;
+  config.max_attempts = 12;
+  auto sender = std::make_shared<ReliablePeer>(config);
+  auto receiver = std::make_shared<ReliablePeer>();
+  const auto sender_pid = node.spawn("sender", sender);
+  const auto receiver_pid = node.spawn("receiver", receiver);
+  sender->start_sender(receiver_pid, 1);
+
+  constexpr int kCount = 50;
+  scheduler.schedule_after(0, [&]() {
+    for (int i = 0; i < kCount; ++i) {
+      sender->sender->send(typed(sender_pid, 100, {static_cast<std::uint64_t>(i)}));
+    }
+  });
+  scheduler.run_until(60 * kSecond);
+
+  // Every payload arrives exactly once despite 30% drops + 20% dups.
+  ASSERT_EQ(receiver->delivered.size(), kCount);
+  std::vector<bool> seen(kCount, false);
+  for (const auto& m : receiver->delivered) {
+    EXPECT_EQ(m.type, 100u);
+    EXPECT_EQ(m.from, sender_pid);  // inner `from` survives the framing
+    ASSERT_EQ(m.args.size(), 1u);
+    EXPECT_FALSE(seen[m.args[0]]);
+    seen[m.args[0]] = true;
+  }
+  EXPECT_EQ(sender->sender->acked(), static_cast<std::uint64_t>(kCount));
+  EXPECT_EQ(sender->sender->in_flight(), 0u);
+  EXPECT_GT(sender->sender->retries(), 0u);
+  EXPECT_GT(receiver->receiver.duplicates_dropped(), 0u);
+}
+
+TEST(Reliable, BoundedAttemptsAbandonUnreachableReceiver) {
+  Scheduler scheduler;
+  Node node(scheduler);
+
+  ReliableConfig config;
+  config.max_attempts = 3;
+  auto sender = std::make_shared<ReliablePeer>(config);
+  const auto sender_pid = node.spawn("sender", sender);
+  auto receiver = std::make_shared<ReliablePeer>();
+  const auto receiver_pid = node.spawn("receiver", receiver);
+  node.kill(receiver_pid);
+  sender->start_sender(receiver_pid, 1);
+
+  scheduler.schedule_after(0, [&]() {
+    sender->sender->send(typed(sender_pid, 5));
+  });
+  scheduler.run_until(60 * kSecond);
+
+  EXPECT_EQ(sender->sender->abandoned(), 1u);
+  EXPECT_EQ(sender->sender->in_flight(), 0u);
+  EXPECT_EQ(sender->sender->acked(), 0u);
+  // First transmission + (max_attempts - 1) retries, all dead-lettered.
+  EXPECT_EQ(sender->sender->sent(), 3u);
+  EXPECT_EQ(node.dead_letter_count(), 3u);
+}
+
+TEST(Reliable, RetriesStopWhenOwnerDies) {
+  Scheduler scheduler;
+  Node node(scheduler);
+  node.set_channel_faults({.drop_probability = 1.0});
+
+  auto sender = std::make_shared<ReliablePeer>();
+  const auto sender_pid = node.spawn("sender", sender);
+  auto receiver = std::make_shared<ReliablePeer>();
+  const auto receiver_pid = node.spawn("receiver", receiver);
+  sender->start_sender(receiver_pid, 1);
+
+  scheduler.schedule_after(0, [&]() {
+    sender->sender->send(typed(sender_pid, 5));
+  });
+  scheduler.schedule_after(300 * kMillisecond, [&]() { node.kill(sender_pid); });
+  scheduler.run_until(60 * kSecond);
+
+  // The owner died mid-backoff: its retry timers were process-scoped, so
+  // the transmission count froze instead of running out the budget.
+  EXPECT_LT(sender->sender->sent(), 5u);
+  EXPECT_EQ(sender->sender->abandoned(), 0u);
+}
+
+}  // namespace
+}  // namespace wtc::sim
