@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_error_history.dir/ablation_error_history.cpp.o"
+  "CMakeFiles/ablation_error_history.dir/ablation_error_history.cpp.o.d"
+  "ablation_error_history"
+  "ablation_error_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_error_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_event_triggered.dir/ablation_event_triggered.cpp.o"
+  "CMakeFiles/ablation_event_triggered.dir/ablation_event_triggered.cpp.o.d"
+  "ablation_event_triggered"
+  "ablation_event_triggered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_event_triggered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_manager_failover.dir/ablation_manager_failover.cpp.o"
+  "CMakeFiles/ablation_manager_failover.dir/ablation_manager_failover.cpp.o.d"
+  "ablation_manager_failover"
+  "ablation_manager_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_manager_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_preemptive_vs_postcheck.dir/ablation_preemptive_vs_postcheck.cpp.o"
+  "CMakeFiles/ablation_preemptive_vs_postcheck.dir/ablation_preemptive_vs_postcheck.cpp.o.d"
+  "ablation_preemptive_vs_postcheck"
+  "ablation_preemptive_vs_postcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preemptive_vs_postcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

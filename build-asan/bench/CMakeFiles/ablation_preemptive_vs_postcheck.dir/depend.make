@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_preemptive_vs_postcheck.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_recovery_escalation.dir/ablation_recovery_escalation.cpp.o"
+  "CMakeFiles/ablation_recovery_escalation.dir/ablation_recovery_escalation.cpp.o.d"
+  "ablation_recovery_escalation"
+  "ablation_recovery_escalation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recovery_escalation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_robust_structures.dir/ablation_robust_structures.cpp.o"
+  "CMakeFiles/ablation_robust_structures.dir/ablation_robust_structures.cpp.o.d"
+  "ablation_robust_structures"
+  "ablation_robust_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_robust_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

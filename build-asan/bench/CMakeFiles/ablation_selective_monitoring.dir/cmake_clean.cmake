@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_selective_monitoring.dir/ablation_selective_monitoring.cpp.o"
+  "CMakeFiles/ablation_selective_monitoring.dir/ablation_selective_monitoring.cpp.o.d"
+  "ablation_selective_monitoring"
+  "ablation_selective_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selective_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unreliable_ipc.dir/ablation_unreliable_ipc.cpp.o"
+  "CMakeFiles/ablation_unreliable_ipc.dir/ablation_unreliable_ipc.cpp.o.d"
+  "ablation_unreliable_ipc"
+  "ablation_unreliable_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unreliable_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

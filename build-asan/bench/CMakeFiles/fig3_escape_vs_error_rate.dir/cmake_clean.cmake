@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_escape_vs_error_rate.dir/fig3_escape_vs_error_rate.cpp.o"
+  "CMakeFiles/fig3_escape_vs_error_rate.dir/fig3_escape_vs_error_rate.cpp.o.d"
+  "fig3_escape_vs_error_rate"
+  "fig3_escape_vs_error_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_escape_vs_error_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_api_overhead.dir/fig4_api_overhead.cpp.o"
+  "CMakeFiles/fig4_api_overhead.dir/fig4_api_overhead.cpp.o.d"
+  "fig4_api_overhead"
+  "fig4_api_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_api_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_prioritized_uniform.dir/fig5_prioritized_uniform.cpp.o"
+  "CMakeFiles/fig5_prioritized_uniform.dir/fig5_prioritized_uniform.cpp.o.d"
+  "fig5_prioritized_uniform"
+  "fig5_prioritized_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_prioritized_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_prioritized_proportional.dir/fig6_prioritized_proportional.cpp.o"
+  "CMakeFiles/fig6_prioritized_proportional.dir/fig6_prioritized_proportional.cpp.o.d"
+  "fig6_prioritized_proportional"
+  "fig6_prioritized_proportional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_prioritized_proportional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_system_coverage.dir/table10_system_coverage.cpp.o"
+  "CMakeFiles/table10_system_coverage.dir/table10_system_coverage.cpp.o.d"
+  "table10_system_coverage"
+  "table10_system_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_system_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

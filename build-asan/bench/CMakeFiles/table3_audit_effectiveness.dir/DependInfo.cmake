@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_audit_effectiveness.cpp" "bench/CMakeFiles/table3_audit_effectiveness.dir/table3_audit_effectiveness.cpp.o" "gcc" "bench/CMakeFiles/table3_audit_effectiveness.dir/table3_audit_effectiveness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/experiments/CMakeFiles/wtc_experiments.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/callproc/CMakeFiles/wtc_callproc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/inject/CMakeFiles/wtc_inject.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pecos/CMakeFiles/wtc_pecos.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/manager/CMakeFiles/wtc_manager.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/audit/CMakeFiles/wtc_audit.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/db/CMakeFiles/wtc_db.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vm/CMakeFiles/wtc_vm.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/wtc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/wtc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_audit_effectiveness.dir/table3_audit_effectiveness.cpp.o"
+  "CMakeFiles/table3_audit_effectiveness.dir/table3_audit_effectiveness.cpp.o.d"
+  "table3_audit_effectiveness"
+  "table3_audit_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_audit_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

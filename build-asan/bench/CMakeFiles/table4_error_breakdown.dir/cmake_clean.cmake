@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_error_breakdown.dir/table4_error_breakdown.cpp.o"
+  "CMakeFiles/table4_error_breakdown.dir/table4_error_breakdown.cpp.o.d"
+  "table4_error_breakdown"
+  "table4_error_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_error_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

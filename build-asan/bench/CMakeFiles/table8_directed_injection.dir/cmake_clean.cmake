@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_directed_injection.dir/table8_directed_injection.cpp.o"
+  "CMakeFiles/table8_directed_injection.dir/table8_directed_injection.cpp.o.d"
+  "table8_directed_injection"
+  "table8_directed_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_directed_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

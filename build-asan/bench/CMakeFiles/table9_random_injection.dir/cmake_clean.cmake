@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_random_injection.dir/table9_random_injection.cpp.o"
+  "CMakeFiles/table9_random_injection.dir/table9_random_injection.cpp.o.d"
+  "table9_random_injection"
+  "table9_random_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_random_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_tuning.dir/audit_tuning.cpp.o"
+  "CMakeFiles/audit_tuning.dir/audit_tuning.cpp.o.d"
+  "audit_tuning"
+  "audit_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/call_center.dir/call_center.cpp.o"
+  "CMakeFiles/call_center.dir/call_center.cpp.o.d"
+  "call_center"
+  "call_center.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/call_center.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

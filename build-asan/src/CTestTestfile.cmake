@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("db")
+subdirs("vm")
+subdirs("pecos")
+subdirs("audit")
+subdirs("manager")
+subdirs("callproc")
+subdirs("inject")
+subdirs("experiments")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audit/engine.cpp" "src/audit/CMakeFiles/wtc_audit.dir/engine.cpp.o" "gcc" "src/audit/CMakeFiles/wtc_audit.dir/engine.cpp.o.d"
+  "/root/repo/src/audit/escalation.cpp" "src/audit/CMakeFiles/wtc_audit.dir/escalation.cpp.o" "gcc" "src/audit/CMakeFiles/wtc_audit.dir/escalation.cpp.o.d"
+  "/root/repo/src/audit/priority.cpp" "src/audit/CMakeFiles/wtc_audit.dir/priority.cpp.o" "gcc" "src/audit/CMakeFiles/wtc_audit.dir/priority.cpp.o.d"
+  "/root/repo/src/audit/process.cpp" "src/audit/CMakeFiles/wtc_audit.dir/process.cpp.o" "gcc" "src/audit/CMakeFiles/wtc_audit.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/db/CMakeFiles/wtc_db.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/wtc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/wtc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

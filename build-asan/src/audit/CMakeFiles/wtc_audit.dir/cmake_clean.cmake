@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wtc_audit.dir/engine.cpp.o"
+  "CMakeFiles/wtc_audit.dir/engine.cpp.o.d"
+  "CMakeFiles/wtc_audit.dir/escalation.cpp.o"
+  "CMakeFiles/wtc_audit.dir/escalation.cpp.o.d"
+  "CMakeFiles/wtc_audit.dir/priority.cpp.o"
+  "CMakeFiles/wtc_audit.dir/priority.cpp.o.d"
+  "CMakeFiles/wtc_audit.dir/process.cpp.o"
+  "CMakeFiles/wtc_audit.dir/process.cpp.o.d"
+  "libwtc_audit.a"
+  "libwtc_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wtc_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/callproc/emulated_client.cpp" "src/callproc/CMakeFiles/wtc_callproc.dir/emulated_client.cpp.o" "gcc" "src/callproc/CMakeFiles/wtc_callproc.dir/emulated_client.cpp.o.d"
+  "/root/repo/src/callproc/native_client.cpp" "src/callproc/CMakeFiles/wtc_callproc.dir/native_client.cpp.o" "gcc" "src/callproc/CMakeFiles/wtc_callproc.dir/native_client.cpp.o.d"
+  "/root/repo/src/callproc/vm_driver.cpp" "src/callproc/CMakeFiles/wtc_callproc.dir/vm_driver.cpp.o" "gcc" "src/callproc/CMakeFiles/wtc_callproc.dir/vm_driver.cpp.o.d"
+  "/root/repo/src/callproc/vm_program.cpp" "src/callproc/CMakeFiles/wtc_callproc.dir/vm_program.cpp.o" "gcc" "src/callproc/CMakeFiles/wtc_callproc.dir/vm_program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/db/CMakeFiles/wtc_db.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vm/CMakeFiles/wtc_vm.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/audit/CMakeFiles/wtc_audit.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/wtc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/wtc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

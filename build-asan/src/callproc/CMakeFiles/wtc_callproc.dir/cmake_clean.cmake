@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wtc_callproc.dir/emulated_client.cpp.o"
+  "CMakeFiles/wtc_callproc.dir/emulated_client.cpp.o.d"
+  "CMakeFiles/wtc_callproc.dir/native_client.cpp.o"
+  "CMakeFiles/wtc_callproc.dir/native_client.cpp.o.d"
+  "CMakeFiles/wtc_callproc.dir/vm_driver.cpp.o"
+  "CMakeFiles/wtc_callproc.dir/vm_driver.cpp.o.d"
+  "CMakeFiles/wtc_callproc.dir/vm_program.cpp.o"
+  "CMakeFiles/wtc_callproc.dir/vm_program.cpp.o.d"
+  "libwtc_callproc.a"
+  "libwtc_callproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wtc_callproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

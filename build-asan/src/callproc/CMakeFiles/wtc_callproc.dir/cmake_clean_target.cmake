@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwtc_callproc.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wtc_common.dir/crc32.cpp.o"
+  "CMakeFiles/wtc_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/wtc_common.dir/log.cpp.o"
+  "CMakeFiles/wtc_common.dir/log.cpp.o.d"
+  "CMakeFiles/wtc_common.dir/rng.cpp.o"
+  "CMakeFiles/wtc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/wtc_common.dir/stats.cpp.o"
+  "CMakeFiles/wtc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/wtc_common.dir/table_printer.cpp.o"
+  "CMakeFiles/wtc_common.dir/table_printer.cpp.o.d"
+  "libwtc_common.a"
+  "libwtc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wtc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

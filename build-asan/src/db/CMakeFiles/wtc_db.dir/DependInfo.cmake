@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/api.cpp" "src/db/CMakeFiles/wtc_db.dir/api.cpp.o" "gcc" "src/db/CMakeFiles/wtc_db.dir/api.cpp.o.d"
+  "/root/repo/src/db/controller_schema.cpp" "src/db/CMakeFiles/wtc_db.dir/controller_schema.cpp.o" "gcc" "src/db/CMakeFiles/wtc_db.dir/controller_schema.cpp.o.d"
+  "/root/repo/src/db/database.cpp" "src/db/CMakeFiles/wtc_db.dir/database.cpp.o" "gcc" "src/db/CMakeFiles/wtc_db.dir/database.cpp.o.d"
+  "/root/repo/src/db/direct.cpp" "src/db/CMakeFiles/wtc_db.dir/direct.cpp.o" "gcc" "src/db/CMakeFiles/wtc_db.dir/direct.cpp.o.d"
+  "/root/repo/src/db/disk.cpp" "src/db/CMakeFiles/wtc_db.dir/disk.cpp.o" "gcc" "src/db/CMakeFiles/wtc_db.dir/disk.cpp.o.d"
+  "/root/repo/src/db/layout.cpp" "src/db/CMakeFiles/wtc_db.dir/layout.cpp.o" "gcc" "src/db/CMakeFiles/wtc_db.dir/layout.cpp.o.d"
+  "/root/repo/src/db/robust_list.cpp" "src/db/CMakeFiles/wtc_db.dir/robust_list.cpp.o" "gcc" "src/db/CMakeFiles/wtc_db.dir/robust_list.cpp.o.d"
+  "/root/repo/src/db/schema.cpp" "src/db/CMakeFiles/wtc_db.dir/schema.cpp.o" "gcc" "src/db/CMakeFiles/wtc_db.dir/schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/wtc_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/wtc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wtc_db.dir/api.cpp.o"
+  "CMakeFiles/wtc_db.dir/api.cpp.o.d"
+  "CMakeFiles/wtc_db.dir/controller_schema.cpp.o"
+  "CMakeFiles/wtc_db.dir/controller_schema.cpp.o.d"
+  "CMakeFiles/wtc_db.dir/database.cpp.o"
+  "CMakeFiles/wtc_db.dir/database.cpp.o.d"
+  "CMakeFiles/wtc_db.dir/direct.cpp.o"
+  "CMakeFiles/wtc_db.dir/direct.cpp.o.d"
+  "CMakeFiles/wtc_db.dir/disk.cpp.o"
+  "CMakeFiles/wtc_db.dir/disk.cpp.o.d"
+  "CMakeFiles/wtc_db.dir/layout.cpp.o"
+  "CMakeFiles/wtc_db.dir/layout.cpp.o.d"
+  "CMakeFiles/wtc_db.dir/robust_list.cpp.o"
+  "CMakeFiles/wtc_db.dir/robust_list.cpp.o.d"
+  "CMakeFiles/wtc_db.dir/schema.cpp.o"
+  "CMakeFiles/wtc_db.dir/schema.cpp.o.d"
+  "libwtc_db.a"
+  "libwtc_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wtc_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

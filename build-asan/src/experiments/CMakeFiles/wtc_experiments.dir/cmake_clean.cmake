@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wtc_experiments.dir/audit_runner.cpp.o"
+  "CMakeFiles/wtc_experiments.dir/audit_runner.cpp.o.d"
+  "CMakeFiles/wtc_experiments.dir/pecos_runner.cpp.o"
+  "CMakeFiles/wtc_experiments.dir/pecos_runner.cpp.o.d"
+  "CMakeFiles/wtc_experiments.dir/prioritized_runner.cpp.o"
+  "CMakeFiles/wtc_experiments.dir/prioritized_runner.cpp.o.d"
+  "libwtc_experiments.a"
+  "libwtc_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wtc_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inject/client_injector.cpp" "src/inject/CMakeFiles/wtc_inject.dir/client_injector.cpp.o" "gcc" "src/inject/CMakeFiles/wtc_inject.dir/client_injector.cpp.o.d"
+  "/root/repo/src/inject/db_injector.cpp" "src/inject/CMakeFiles/wtc_inject.dir/db_injector.cpp.o" "gcc" "src/inject/CMakeFiles/wtc_inject.dir/db_injector.cpp.o.d"
+  "/root/repo/src/inject/oracle.cpp" "src/inject/CMakeFiles/wtc_inject.dir/oracle.cpp.o" "gcc" "src/inject/CMakeFiles/wtc_inject.dir/oracle.cpp.o.d"
+  "/root/repo/src/inject/outcome.cpp" "src/inject/CMakeFiles/wtc_inject.dir/outcome.cpp.o" "gcc" "src/inject/CMakeFiles/wtc_inject.dir/outcome.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/db/CMakeFiles/wtc_db.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vm/CMakeFiles/wtc_vm.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/audit/CMakeFiles/wtc_audit.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/wtc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/wtc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

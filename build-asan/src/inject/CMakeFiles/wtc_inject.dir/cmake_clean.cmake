@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wtc_inject.dir/client_injector.cpp.o"
+  "CMakeFiles/wtc_inject.dir/client_injector.cpp.o.d"
+  "CMakeFiles/wtc_inject.dir/db_injector.cpp.o"
+  "CMakeFiles/wtc_inject.dir/db_injector.cpp.o.d"
+  "CMakeFiles/wtc_inject.dir/oracle.cpp.o"
+  "CMakeFiles/wtc_inject.dir/oracle.cpp.o.d"
+  "CMakeFiles/wtc_inject.dir/outcome.cpp.o"
+  "CMakeFiles/wtc_inject.dir/outcome.cpp.o.d"
+  "libwtc_inject.a"
+  "libwtc_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wtc_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

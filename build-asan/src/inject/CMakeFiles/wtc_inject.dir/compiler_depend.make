@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wtc_inject.
+# This may be replaced when dependencies are built.

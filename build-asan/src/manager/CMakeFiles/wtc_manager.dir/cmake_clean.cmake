@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wtc_manager.dir/manager.cpp.o"
+  "CMakeFiles/wtc_manager.dir/manager.cpp.o.d"
+  "libwtc_manager.a"
+  "libwtc_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wtc_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

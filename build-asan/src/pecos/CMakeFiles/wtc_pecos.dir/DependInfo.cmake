@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pecos/bssc.cpp" "src/pecos/CMakeFiles/wtc_pecos.dir/bssc.cpp.o" "gcc" "src/pecos/CMakeFiles/wtc_pecos.dir/bssc.cpp.o.d"
+  "/root/repo/src/pecos/monitor.cpp" "src/pecos/CMakeFiles/wtc_pecos.dir/monitor.cpp.o" "gcc" "src/pecos/CMakeFiles/wtc_pecos.dir/monitor.cpp.o.d"
+  "/root/repo/src/pecos/plan.cpp" "src/pecos/CMakeFiles/wtc_pecos.dir/plan.cpp.o" "gcc" "src/pecos/CMakeFiles/wtc_pecos.dir/plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/vm/CMakeFiles/wtc_vm.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/db/CMakeFiles/wtc_db.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/wtc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/wtc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wtc_pecos.dir/bssc.cpp.o"
+  "CMakeFiles/wtc_pecos.dir/bssc.cpp.o.d"
+  "CMakeFiles/wtc_pecos.dir/monitor.cpp.o"
+  "CMakeFiles/wtc_pecos.dir/monitor.cpp.o.d"
+  "CMakeFiles/wtc_pecos.dir/plan.cpp.o"
+  "CMakeFiles/wtc_pecos.dir/plan.cpp.o.d"
+  "libwtc_pecos.a"
+  "libwtc_pecos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wtc_pecos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

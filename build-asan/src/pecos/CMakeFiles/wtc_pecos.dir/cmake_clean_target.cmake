@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwtc_pecos.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wtc_sim.dir/node.cpp.o"
+  "CMakeFiles/wtc_sim.dir/node.cpp.o.d"
+  "CMakeFiles/wtc_sim.dir/reliable.cpp.o"
+  "CMakeFiles/wtc_sim.dir/reliable.cpp.o.d"
+  "CMakeFiles/wtc_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/wtc_sim.dir/scheduler.cpp.o.d"
+  "libwtc_sim.a"
+  "libwtc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wtc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/asm_parser.cpp" "src/vm/CMakeFiles/wtc_vm.dir/asm_parser.cpp.o" "gcc" "src/vm/CMakeFiles/wtc_vm.dir/asm_parser.cpp.o.d"
+  "/root/repo/src/vm/builder.cpp" "src/vm/CMakeFiles/wtc_vm.dir/builder.cpp.o" "gcc" "src/vm/CMakeFiles/wtc_vm.dir/builder.cpp.o.d"
+  "/root/repo/src/vm/cfg.cpp" "src/vm/CMakeFiles/wtc_vm.dir/cfg.cpp.o" "gcc" "src/vm/CMakeFiles/wtc_vm.dir/cfg.cpp.o.d"
+  "/root/repo/src/vm/interp.cpp" "src/vm/CMakeFiles/wtc_vm.dir/interp.cpp.o" "gcc" "src/vm/CMakeFiles/wtc_vm.dir/interp.cpp.o.d"
+  "/root/repo/src/vm/program.cpp" "src/vm/CMakeFiles/wtc_vm.dir/program.cpp.o" "gcc" "src/vm/CMakeFiles/wtc_vm.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/wtc_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/wtc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/db/CMakeFiles/wtc_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wtc_vm.dir/asm_parser.cpp.o"
+  "CMakeFiles/wtc_vm.dir/asm_parser.cpp.o.d"
+  "CMakeFiles/wtc_vm.dir/builder.cpp.o"
+  "CMakeFiles/wtc_vm.dir/builder.cpp.o.d"
+  "CMakeFiles/wtc_vm.dir/cfg.cpp.o"
+  "CMakeFiles/wtc_vm.dir/cfg.cpp.o.d"
+  "CMakeFiles/wtc_vm.dir/interp.cpp.o"
+  "CMakeFiles/wtc_vm.dir/interp.cpp.o.d"
+  "CMakeFiles/wtc_vm.dir/program.cpp.o"
+  "CMakeFiles/wtc_vm.dir/program.cpp.o.d"
+  "libwtc_vm.a"
+  "libwtc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wtc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

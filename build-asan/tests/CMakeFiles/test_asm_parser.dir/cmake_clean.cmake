@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asm_parser.dir/test_asm_parser.cpp.o"
+  "CMakeFiles/test_asm_parser.dir/test_asm_parser.cpp.o.d"
+  "test_asm_parser"
+  "test_asm_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asm_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

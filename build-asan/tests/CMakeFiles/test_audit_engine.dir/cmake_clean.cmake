@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_audit_engine.dir/test_audit_engine.cpp.o"
+  "CMakeFiles/test_audit_engine.dir/test_audit_engine.cpp.o.d"
+  "test_audit_engine"
+  "test_audit_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_audit_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

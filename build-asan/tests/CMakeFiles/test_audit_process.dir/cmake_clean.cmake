@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_audit_process.dir/test_audit_process.cpp.o"
+  "CMakeFiles/test_audit_process.dir/test_audit_process.cpp.o.d"
+  "test_audit_process"
+  "test_audit_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_audit_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

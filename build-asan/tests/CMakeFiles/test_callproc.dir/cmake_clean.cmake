@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_callproc.dir/test_callproc.cpp.o"
+  "CMakeFiles/test_callproc.dir/test_callproc.cpp.o.d"
+  "test_callproc"
+  "test_callproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_callproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

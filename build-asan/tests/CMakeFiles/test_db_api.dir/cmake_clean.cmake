@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_db_api.dir/test_db_api.cpp.o"
+  "CMakeFiles/test_db_api.dir/test_db_api.cpp.o.d"
+  "test_db_api"
+  "test_db_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_db_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_db_layout.dir/test_db_layout.cpp.o"
+  "CMakeFiles/test_db_layout.dir/test_db_layout.cpp.o.d"
+  "test_db_layout"
+  "test_db_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_db_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

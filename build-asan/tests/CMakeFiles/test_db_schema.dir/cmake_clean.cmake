@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_db_schema.dir/test_db_schema.cpp.o"
+  "CMakeFiles/test_db_schema.dir/test_db_schema.cpp.o.d"
+  "test_db_schema"
+  "test_db_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_db_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

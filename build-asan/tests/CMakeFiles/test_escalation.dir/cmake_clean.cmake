@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_escalation.dir/test_escalation.cpp.o"
+  "CMakeFiles/test_escalation.dir/test_escalation.cpp.o.d"
+  "test_escalation"
+  "test_escalation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_escalation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

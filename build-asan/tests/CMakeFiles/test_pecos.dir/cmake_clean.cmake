@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pecos.dir/test_pecos.cpp.o"
+  "CMakeFiles/test_pecos.dir/test_pecos.cpp.o.d"
+  "test_pecos"
+  "test_pecos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pecos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reliable_ipc.dir/test_reliable_ipc.cpp.o"
+  "CMakeFiles/test_reliable_ipc.dir/test_reliable_ipc.cpp.o.d"
+  "test_reliable_ipc"
+  "test_reliable_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reliable_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_robust_list.dir/test_robust_list.cpp.o"
+  "CMakeFiles/test_robust_list.dir/test_robust_list.cpp.o.d"
+  "test_robust_list"
+  "test_robust_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_robust_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_client.dir/test_vm_client.cpp.o"
+  "CMakeFiles/test_vm_client.dir/test_vm_client.cpp.o.d"
+  "test_vm_client"
+  "test_vm_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asmc.dir/asmc.cpp.o"
+  "CMakeFiles/asmc.dir/asmc.cpp.o.d"
+  "asmc"
+  "asmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for asmc.
+# This may be replaced when dependencies are built.

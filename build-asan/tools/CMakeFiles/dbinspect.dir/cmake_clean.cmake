@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbinspect.dir/dbinspect.cpp.o"
+  "CMakeFiles/dbinspect.dir/dbinspect.cpp.o.d"
+  "dbinspect"
+  "dbinspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbinspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
