@@ -1,0 +1,278 @@
+// Ablation A10: incremental dirty-tracking audit vs the exhaustive baseline.
+//
+// The paper's audit "checks the entire database periodically" (§5.1); the
+// incremental engine instead consumes per-record write generations so each
+// cycle scans only what changed since its watermark, with an exhaustive
+// sweep every Nth cycle to bound detection latency for corruption that
+// bypassed the store's dirty tracking (raw hardware upsets). Three arms:
+//
+//   exhaustive   full scan every cycle (the baseline)
+//   incremental  dirty-only scans, no sweeps (full_sweep_interval = 0)
+//   hybrid       dirty-only scans + exhaustive sweep every 10th cycle
+//
+// Two measurement phases, because audit CPU is itself a confounder:
+//
+//   cost phase      production cost scale (Table 2's 80x). Measures audit
+//                   CPU per cycle and call-setup time. Not used for escape
+//                   rates: the baseline's ~1.2 s audit burst per cycle
+//                   delays clients past the detection tick, so its escape
+//                   rate is flattered by contention, not by coverage.
+//   coverage phase  cost scale 1. Client timing is near-identical across
+//                   arms, so caught/escaped/latency deltas isolate what the
+//                   detection logic actually covers. Run under both
+//                   injection paths: through-store (wild software writes,
+//                   visible to dirty tracking) and bypass (raw memory flips
+//                   that leave no dirty stamp — the periodic sweep's case).
+//
+// Also includes a CRC32 throughput micro-check (the static checksum's
+// inner loop, now slice-by-8).
+//
+// Flags: --runs=N (default 10), --duration=SECONDS (default 2000),
+//        --sweep=N (hybrid interval, default 10), --json=PATH
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/crc32.hpp"
+#include "common/table_printer.hpp"
+
+using namespace wtc;
+
+namespace {
+
+struct Arm {
+  std::string name;
+  bool through_store = true;
+  experiments::AggregateAuditResult result;
+};
+
+experiments::AggregateAuditResult run_arm(bool incremental,
+                                          std::size_t sweep_interval,
+                                          bool through_store, double cost_scale,
+                                          std::size_t duration_s,
+                                          std::size_t runs) {
+  auto params = bench::table2_params();
+  params.duration =
+      static_cast<sim::Duration>(duration_s) * static_cast<sim::Duration>(sim::kSecond);
+  params.audits_enabled = true;
+  params.audit.engine.incremental = incremental;
+  params.audit.engine.full_sweep_interval =
+      static_cast<std::uint32_t>(sweep_interval);
+  params.audit.engine.cost_scale = cost_scale;
+  params.injector.through_store = through_store;
+  params.seed = 0x1AC5;
+  return experiments::run_audit_series(params, runs);
+}
+
+double pct(std::size_t part, std::size_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                static_cast<double>(whole);
+}
+
+double escape_of(const std::vector<Arm>& arms, const std::string& name,
+                 bool through_store) {
+  for (const auto& arm : arms) {
+    if (arm.name == name && arm.through_store == through_store) {
+      return pct(arm.result.escaped, arm.result.injected);
+    }
+  }
+  return 0.0;
+}
+
+/// CRC32 throughput micro-check: correctness vector + MB/s of the
+/// slice-by-8 kernel over a buffer sized like the static area.
+struct CrcCheck {
+  bool vector_ok = false;
+  double mb_per_s = 0.0;
+};
+
+CrcCheck crc_microbench() {
+  CrcCheck check;
+  const char* vector = "123456789";
+  check.vector_ok =
+      common::crc32(std::as_bytes(std::span(vector, 9))) == 0xCBF43926u;
+
+  std::vector<std::byte> buffer(4u << 20);
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    buffer[i] = static_cast<std::byte>(i * 2654435761u >> 24);
+  }
+  // Warm-up pass, then timed passes; volatile sink defeats dead-code
+  // elimination.
+  volatile std::uint32_t sink = common::crc32(buffer);
+  const int passes = 8;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < passes; ++i) {
+    sink = common::crc32(buffer);
+  }
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  (void)sink;
+  if (elapsed > 0.0) {
+    check.mb_per_s = static_cast<double>(buffer.size()) * passes /
+                     (1024.0 * 1024.0) / elapsed;
+  }
+  return check;
+}
+
+void print_cost(const std::vector<Arm>& arms) {
+  common::TablePrinter table({"Configuration", "Audit us/cycle", "Sweeps",
+                              "Setup (ms)"});
+  for (const auto& arm : arms) {
+    const auto& r = arm.result;
+    table.add_row({arm.name, common::fmt(r.audit_cost_per_cycle_us.mean(), 0),
+                   std::to_string(r.full_sweeps),
+                   common::fmt(r.setup_ms.mean(), 1)});
+  }
+  std::printf("--- cost phase (production cost scale) ---\n\n%s\n",
+              table.render().c_str());
+}
+
+void print_coverage(const std::vector<Arm>& arms) {
+  common::TablePrinter table({"Configuration", "Error path", "Injected",
+                              "Caught %", "Escaped %", "Latency (s)"});
+  for (const auto& arm : arms) {
+    const auto& r = arm.result;
+    table.add_row({arm.name, arm.through_store ? "through-store" : "bypass",
+                   std::to_string(r.injected),
+                   common::fmt(pct(r.caught, r.injected), 1) + "%",
+                   common::fmt(pct(r.escaped, r.injected), 1) + "%",
+                   common::fmt(r.detection_latency_s.mean(), 2)});
+  }
+  std::printf("--- coverage phase (cost scale 1: equal client timing, "
+              "detection logic isolated) ---\n\n%s\n",
+              table.render().c_str());
+}
+
+void json_arm(std::FILE* file, const Arm& arm, bool last) {
+  const auto& r = arm.result;
+  std::fprintf(
+      file,
+      "    {\"name\": \"%s\", \"through_store\": %s,\n"
+      "     \"audit_us_per_cycle\": %.1f, \"audit_cycles\": %llu,\n"
+      "     \"full_sweeps\": %llu, \"setup_ms\": %.2f,\n"
+      "     \"injected\": %zu, \"caught_pct\": %.2f, \"escaped_pct\": %.2f,\n"
+      "     \"detection_latency_s\": %.2f}%s\n",
+      arm.name.c_str(), arm.through_store ? "true" : "false",
+      r.audit_cost_per_cycle_us.mean(),
+      static_cast<unsigned long long>(r.audit_cycles),
+      static_cast<unsigned long long>(r.full_sweeps), r.setup_ms.mean(),
+      r.injected, pct(r.caught, r.injected), pct(r.escaped, r.injected),
+      r.detection_latency_s.mean(), last ? "" : ",");
+}
+
+void write_json(const std::string& path, const std::vector<Arm>& cost_arms,
+                const std::vector<Arm>& coverage_arms, std::size_t runs,
+                std::size_t duration_s, std::size_t sweep_interval,
+                const CrcCheck& crc) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(file, "{\n  \"bench\": \"incremental_audit\",\n");
+  std::fprintf(file, "  \"runs\": %zu,\n  \"duration_s\": %zu,\n", runs,
+               duration_s);
+  std::fprintf(file, "  \"hybrid_sweep_interval\": %zu,\n", sweep_interval);
+  std::fprintf(file, "  \"crc32\": {\"vector_ok\": %s, \"mb_per_s\": %.1f},\n",
+               crc.vector_ok ? "true" : "false", crc.mb_per_s);
+  std::fprintf(file, "  \"cost_arms\": [\n");
+  for (std::size_t i = 0; i < cost_arms.size(); ++i) {
+    json_arm(file, cost_arms[i], i + 1 == cost_arms.size());
+  }
+  std::fprintf(file, "  ],\n  \"coverage_arms\": [\n");
+  for (std::size_t i = 0; i < coverage_arms.size(); ++i) {
+    json_arm(file, coverage_arms[i], i + 1 == coverage_arms.size());
+  }
+  std::fprintf(file, "  ],\n");
+  // Headline deltas: CPU reduction from the cost phase; escape-rate delta
+  // from the coverage phase, through-store mode (the paper's dominant
+  // wild-write error model).
+  double base_cost = 0.0;
+  double incr_cost = 0.0;
+  double hybrid_cost = 0.0;
+  for (const auto& arm : cost_arms) {
+    const double cost = arm.result.audit_cost_per_cycle_us.mean();
+    if (arm.name == "exhaustive") {
+      base_cost = cost;
+    } else if (arm.name == "incremental") {
+      incr_cost = cost;
+    } else if (arm.name == "hybrid") {
+      hybrid_cost = cost;
+    }
+  }
+  std::fprintf(file,
+               "  \"speedup_incremental\": %.2f,\n"
+               "  \"speedup_hybrid\": %.2f,\n"
+               "  \"hybrid_escape_delta_pp\": %.2f\n}\n",
+               incr_cost > 0.0 ? base_cost / incr_cost : 0.0,
+               hybrid_cost > 0.0 ? base_cost / hybrid_cost : 0.0,
+               escape_of(coverage_arms, "hybrid", true) -
+                   escape_of(coverage_arms, "exhaustive", true));
+  std::fclose(file);
+  std::printf("(results written to %s)\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t runs = bench::flag(argc, argv, "runs", 10);
+  const std::size_t duration_s = bench::flag(argc, argv, "duration", 2000);
+  const std::size_t sweep_interval = bench::flag(argc, argv, "sweep", 10);
+  const std::string json_path =
+      bench::flag_str(argc, argv, "json", "BENCH_incremental_audit.json");
+
+  const CrcCheck crc = crc_microbench();
+  std::printf("CRC32 slice-by-8: vector %s, %.0f MB/s\n\n",
+              crc.vector_ok ? "ok" : "MISMATCH", crc.mb_per_s);
+  std::printf("=== Ablation A10: incremental dirty-tracking audit (%zu runs "
+              "per arm, %zus each) ===\n\n",
+              runs, duration_s);
+
+  const double kCostScale = bench::table2_params().audit.engine.cost_scale;
+  std::vector<Arm> cost_arms;
+  cost_arms.push_back(
+      {"exhaustive", true,
+       run_arm(false, 0, true, kCostScale, duration_s, runs)});
+  cost_arms.push_back(
+      {"incremental", true,
+       run_arm(true, 0, true, kCostScale, duration_s, runs)});
+  cost_arms.push_back(
+      {"hybrid", true,
+       run_arm(true, sweep_interval, true, kCostScale, duration_s, runs)});
+  print_cost(cost_arms);
+
+  std::vector<Arm> coverage_arms;
+  for (const bool through_store : {true, false}) {
+    coverage_arms.push_back(
+        {"exhaustive", through_store,
+         run_arm(false, 0, through_store, 1.0, duration_s, runs)});
+    coverage_arms.push_back(
+        {"incremental", through_store,
+         run_arm(true, 0, through_store, 1.0, duration_s, runs)});
+    coverage_arms.push_back(
+        {"hybrid", through_store,
+         run_arm(true, sweep_interval, through_store, 1.0, duration_s, runs)});
+  }
+  print_coverage(coverage_arms);
+
+  const double base = cost_arms[0].result.audit_cost_per_cycle_us.mean();
+  const double incr = cost_arms[1].result.audit_cost_per_cycle_us.mean();
+  const double hybrid = cost_arms[2].result.audit_cost_per_cycle_us.mean();
+  const double escape_delta = escape_of(coverage_arms, "hybrid", true) -
+                              escape_of(coverage_arms, "exhaustive", true);
+  std::printf("Audit CPU/cycle reduction: incremental %.1fx, hybrid %.1fx; "
+              "hybrid escape-rate delta (through-store) %+.2f pp\n",
+              incr > 0.0 ? base / incr : 0.0,
+              hybrid > 0.0 ? base / hybrid : 0.0, escape_delta);
+  std::printf("Expected: >=3x audit CPU reduction with the hybrid escape "
+              "rate within 1 pp of exhaustive; under the bypass error model "
+              "the pure-incremental arm escapes what the workload never "
+              "rewrites, which is what the periodic full sweep bounds.\n");
+
+  write_json(json_path, cost_arms, coverage_arms, runs, duration_s,
+             sweep_interval, crc);
+  return 0;
+}

@@ -67,6 +67,35 @@ AuditEngine::AuditEngine(db::Database& db, EngineConfig config,
       static_chunks_.push_back({at, chunk_len, common::crc32(bytes)});
     }
   }
+  // Incremental-audit state: watermarks start at 0, i.e. everything the
+  // store has ever written (generation >= 1) is dirty for the first cycle.
+  const std::size_t tables = db_.table_count();
+  structure_watermark_.assign(tables, 0);
+  ranges_watermark_.assign(tables, 0);
+  selective_watermark_.assign(tables, 0);
+  referencing_.resize(tables);
+  anchor_table_.assign(tables, 0);
+  has_pk_.assign(tables, 0);
+  chain_anchor_.reserve(tables);
+  for (db::TableId t = 0; t < tables; ++t) {
+    const auto& spec = db_.schema().tables[t];
+    bool has_fk = false;
+    for (db::FieldId f = 0; f < spec.fields.size(); ++f) {
+      const auto& field = spec.fields[f];
+      if (field.role == db::FieldRole::ForeignKey) {
+        has_fk = true;
+        if (field.ref_table < tables) {
+          referencing_[field.ref_table].emplace_back(t, f);
+        }
+      } else if (field.role == db::FieldRole::PrimaryKey) {
+        has_pk_[t] = 1;
+      }
+    }
+    anchor_table_[t] = static_cast<char>(spec.dynamic && has_fk ? 1 : 0);
+    chain_anchor_.emplace_back(
+        spec.num_records,
+        std::make_pair(db::kNoTable, db::RecordIndex{0}));
+  }
 }
 
 void AuditEngine::report(Finding finding) {
@@ -91,12 +120,26 @@ bool AuditEngine::recently_written(db::TableId t, db::RecordIndex r) const {
              static_cast<sim::Time>(config_.recent_write_grace);
 }
 
-CheckResult AuditEngine::check_static() {
+void AuditEngine::hold_watermark(std::uint64_t gen, std::uint64_t& new_mark) {
+  if (gen > 0) {
+    new_mark = std::min(new_mark, gen - 1);
+  }
+}
+
+CheckResult AuditEngine::check_static() { return static_scan(true); }
+CheckResult AuditEngine::check_static_incremental() { return static_scan(false); }
+
+CheckResult AuditEngine::static_scan(bool exhaustive) {
   CheckResult result;
   if (!config_.static_check) {
     return result;
   }
+  const std::uint64_t mark = db_.write_generation();
   for (const auto& chunk : static_chunks_) {
+    if (!exhaustive &&
+        !db_.span_written_since(chunk.offset, chunk.length, static_watermark_)) {
+      continue;  // no store write since the last scan verified this chunk
+    }
     result.cost += config_.cost_per_static_chunk;
     const auto live = db_.region().subspan(chunk.offset, chunk.length);
     if (common::crc32(live) == chunk.golden_crc) {
@@ -115,7 +158,30 @@ CheckResult AuditEngine::check_static() {
     ++result.findings;
     db_.reload_span_from_disk(chunk.offset, chunk.length);
   }
+  // Epoch watermark: writes that landed during this scan have generations
+  // above `mark` and therefore stay dirty for the next cycle.
+  static_watermark_ = mark;
   return result;
+}
+
+bool AuditEngine::header_corrupted(db::TableId t, db::RecordIndex r,
+                                   std::uint32_t expected_next) const {
+  const auto header = db::direct::read_header(db_, t, r);
+  const bool dynamic = db_.schema().tables[t].dynamic;
+  if (header.id_tag != db::expected_id_tag(t, r)) {
+    return true;
+  }
+  if (header.status != db::kStatusFree && header.status != db::kStatusActive) {
+    return true;
+  }
+  if (header.group >= db::kMaxGroups) {
+    return true;
+  }
+  if (dynamic && ((header.status == db::kStatusFree && header.group != 0) ||
+                  (header.status == db::kStatusActive && header.group == 0))) {
+    return true;
+  }
+  return header.next != expected_next;
 }
 
 CheckResult AuditEngine::check_one_header(db::TableId t, db::RecordIndex r,
@@ -123,33 +189,34 @@ CheckResult AuditEngine::check_one_header(db::TableId t, db::RecordIndex r,
                                           bool& corrupted) {
   CheckResult result;
   result.cost = config_.cost_per_record_structural;
-  const auto header = db::direct::read_header(db_, t, r);
-  const bool dynamic = db_.schema().tables[t].dynamic;
-
-  corrupted = false;
-  if (header.id_tag != db::expected_id_tag(t, r)) {
-    corrupted = true;
-  } else if (header.status != db::kStatusFree &&
-             header.status != db::kStatusActive) {
-    corrupted = true;
-  } else if (header.group >= db::kMaxGroups) {
-    corrupted = true;
-  } else if (dynamic && ((header.status == db::kStatusFree && header.group != 0) ||
-                         (header.status == db::kStatusActive && header.group == 0))) {
-    corrupted = true;
-  } else if (header.next != expected_next) {
-    corrupted = true;
-  }
+  corrupted = header_corrupted(t, r, expected_next);
   return result;
 }
 
 CheckResult AuditEngine::check_structure(db::TableId t) {
+  return structure_scan(t, true);
+}
+CheckResult AuditEngine::check_structure_incremental(db::TableId t) {
+  return structure_scan(t, false);
+}
+
+CheckResult AuditEngine::structure_scan(db::TableId t, bool exhaustive) {
   CheckResult result;
   if (!config_.structural_check || t >= db_.table_count()) {
     return result;
   }
   if (db_.lock_info(t)) {
-    return result;  // client transaction in progress: result would be invalid
+    // Client transaction in progress: result would be invalid. The
+    // watermark is NOT advanced, so nothing is lost for the next cycle.
+    return result;
+  }
+  const std::uint64_t mark = db_.write_generation();
+  // Header generations, not record generations: this check validates only
+  // the 16-byte headers, and ordinary call-data field updates cannot
+  // corrupt what it reads.
+  if (!exhaustive && db_.table_header_generation(t) <= structure_watermark_[t]) {
+    structure_watermark_[t] = mark;
+    return result;  // no header write anywhere in the table since last scan
   }
   const auto& tl = db_.layout().table(t);
 
@@ -173,6 +240,13 @@ CheckResult AuditEngine::check_structure(db::TableId t) {
   std::vector<db::RecordIndex> bad;
   std::uint32_t consecutive = 0;
   for (db::RecordIndex r = 0; r < tl.num_records; ++r) {
+    if (!exhaustive && db_.header_generation(t, r) <= structure_watermark_[t]) {
+      // Verified clean by a previous scan and untouched since. Reading its
+      // group above cost nothing extra — the booked cost models the
+      // per-record validation, which is skipped here.
+      consecutive = 0;
+      continue;
+    }
     bool corrupted = false;
     result += check_one_header(t, r, expected_next[r], corrupted);
     if (corrupted) {
@@ -189,6 +263,8 @@ CheckResult AuditEngine::check_structure(db::TableId t) {
         report(finding);
         ++result.findings;
         db_.reload_all_from_disk();
+        // Watermark deliberately not advanced: the reload rewrote the
+        // whole region, and everything should be re-verified next cycle.
         return result;
       }
     } else {
@@ -208,10 +284,20 @@ CheckResult AuditEngine::check_structure(db::TableId t) {
     ++result.findings;
     db::direct::repair_header(db_, t, r);
   }
+  // Repairs above went through the store (note_write), so the repaired
+  // records carry generations > mark and get re-verified next cycle.
+  structure_watermark_[t] = mark;
   return result;
 }
 
 CheckResult AuditEngine::check_ranges(db::TableId t) {
+  return ranges_scan(t, true);
+}
+CheckResult AuditEngine::check_ranges_incremental(db::TableId t) {
+  return ranges_scan(t, false);
+}
+
+CheckResult AuditEngine::ranges_scan(db::TableId t, bool exhaustive) {
   CheckResult result;
   if (!config_.range_check || t >= db_.table_count()) {
     return result;
@@ -220,9 +306,33 @@ CheckResult AuditEngine::check_ranges(db::TableId t) {
   if (!spec.dynamic || db_.lock_info(t)) {
     return result;
   }
+  const std::uint64_t mark = db_.write_generation();
+  std::uint64_t new_mark = mark;
+  // Field generations, not record generations: a group relink rewrites
+  // only header link words and cannot change any field value this check
+  // reads, so it must not force a content rescan.
+  if (!exhaustive && db_.table_field_generation(t) <= ranges_watermark_[t]) {
+    ranges_watermark_[t] = mark;
+    return result;
+  }
   for (db::RecordIndex r = 0; r < spec.num_records; ++r) {
+    const std::uint64_t field_gen = db_.field_generation(t, r);
+    if (!exhaustive && field_gen <= ranges_watermark_[t]) {
+      continue;
+    }
+    if (!exhaustive && field_gen == db_.scrub_generation(t, r)) {
+      // The last field-area write was the free-record scrub: the fields
+      // equal their catalog defaults by construction (defaults come from
+      // the trusted out-of-region schema), so the freed-record rule holds
+      // without reading a byte. Any later field write — legitimate or
+      // injected through the store — breaks the equality.
+      continue;
+    }
     const auto header = db::direct::read_header(db_, t, r);
     if (recently_written(t, r)) {
+      // Possibly mid-transaction: skipped unverified, so the watermark is
+      // held back below its generation and it stays dirty for next cycle.
+      hold_watermark(field_gen, new_mark);
       continue;
     }
     if (header.status == db::kStatusFree) {
@@ -284,6 +394,7 @@ CheckResult AuditEngine::check_ranges(db::TableId t) {
       report(finding);
     }
   }
+  ranges_watermark_[t] = new_mark;
   return result;
 }
 
@@ -366,40 +477,116 @@ void AuditEngine::free_and_terminate(db::TableId t, db::RecordIndex r,
   }
 }
 
-CheckResult AuditEngine::check_semantics() {
+CheckResult AuditEngine::check_semantics() { return semantics_scan(true); }
+CheckResult AuditEngine::check_semantics_incremental() {
+  return semantics_scan(false);
+}
+
+CheckResult AuditEngine::semantics_scan(bool exhaustive) {
   CheckResult result;
   if (!config_.semantic_check) {
     return result;
   }
+  const std::uint64_t mark = db_.write_generation();
+  std::uint64_t new_mark = mark;
   std::vector<std::pair<db::TableId, db::RecordIndex>> chain;
 
-  // Anchored loop checks: every active record of every dynamic table that
-  // participates in a semantic relationship.
+  // Anchor selection. Exhaustive: every record of every anchor table
+  // (dynamic + FK-bearing; activity is checked at walk time). Incremental:
+  // only records written since the watermark, plus — via the per-anchor
+  // dirty sets — the last-known anchor of every dirty chain member, so a
+  // corrupted mid-chain link re-walks exactly the loop it belongs to.
+  std::vector<std::vector<char>> walk(db_.table_count());
+  for (db::TableId t = 0; t < db_.table_count(); ++t) {
+    walk[t].assign(db_.schema().tables[t].num_records, 0);
+  }
+  const auto select = [&](db::TableId t, db::RecordIndex r) {
+    if (t < db_.table_count() && anchor_table_[t] &&
+        r < db_.schema().tables[t].num_records) {
+      walk[t][r] = 1;
+    }
+  };
   for (db::TableId t = 0; t < db_.table_count(); ++t) {
     const auto& spec = db_.schema().tables[t];
-    const bool has_fk =
-        std::any_of(spec.fields.begin(), spec.fields.end(),
-                    [](const db::FieldSpec& field) {
-                      return field.role == db::FieldRole::ForeignKey;
-                    });
-    if (!spec.dynamic || !has_fk || db_.lock_info(t)) {
+    for (db::RecordIndex r = 0; r < spec.num_records; ++r) {
+      // Field generations: loop intactness depends on FK/PK field values
+      // and record activity, and every legitimate activity change (alloc,
+      // free) writes the field area in the same operation — header-only
+      // link relinks cannot break a loop.
+      if (!exhaustive && db_.field_generation(t, r) <= semantic_watermark_) {
+        continue;
+      }
+      select(t, r);
+      if (!exhaustive) {
+        const auto anchor = chain_anchor_[t][r];
+        if (anchor.first != db::kNoTable) {
+          select(anchor.first, anchor.second);
+        }
+      }
+    }
+  }
+
+  // Anchored loop checks (§4.3.3).
+  for (db::TableId t = 0; t < db_.table_count(); ++t) {
+    if (!anchor_table_[t]) {
+      continue;
+    }
+    const auto& spec = db_.schema().tables[t];
+    if (db_.lock_info(t)) {
+      // Locked: hold the watermark back for every selected anchor so the
+      // skipped walks happen next cycle.
+      for (db::RecordIndex r = 0; r < spec.num_records; ++r) {
+        if (walk[t][r]) {
+          hold_watermark(db_.field_generation(t, r), new_mark);
+        }
+      }
       continue;
     }
     for (db::RecordIndex r = 0; r < spec.num_records; ++r) {
+      if (!walk[t][r]) {
+        continue;
+      }
       const auto header = db::direct::read_header(db_, t, r);
-      if (header.status != db::kStatusActive || recently_written(t, r)) {
+      if (header.status != db::kStatusActive) {
+        continue;
+      }
+      if (recently_written(t, r)) {
+        hold_watermark(db_.field_generation(t, r), new_mark);
         continue;
       }
       result.cost += config_.cost_per_loop_semantic;
-      if (loop_intact(t, r, chain)) {
+      const bool intact = loop_intact(t, r, chain);
+      // Record which anchor each visited chain member belongs to, so a
+      // future write to the member re-selects this anchor.
+      for (const auto& [member_t, member_r] : chain) {
+        chain_anchor_[member_t][member_r] = {t, r};
+      }
+      if (intact) {
+        if (!exhaustive) {
+          // The closed walk just verified every edge of this loop, so a
+          // pending walk from any other member of the same chain would
+          // re-verify the identical edge set — drop those selections.
+          // Broken loops are deliberately NOT deduplicated: each member's
+          // own walk can localize the damage differently.
+          for (const auto& [member_t, member_r] : chain) {
+            if (member_t < walk.size() && anchor_table_[member_t] &&
+                member_r < walk[member_t].size()) {
+              walk[member_t][member_r] = 0;
+            }
+          }
+        }
         continue;
       }
-      // A chain member may be mid-transaction: skip rather than misfire.
+      // A chain member may be mid-transaction: skip rather than misfire,
+      // holding the watermark back so the loop is re-walked next cycle.
       const bool any_recent = std::any_of(
           chain.begin(), chain.end(), [this](const auto& link) {
             return recently_written(link.first, link.second);
           });
       if (any_recent) {
+        for (const auto& [member_t, member_r] : chain) {
+          hold_watermark(db_.field_generation(member_t, member_r), new_mark);
+        }
         continue;
       }
       ++result.findings;
@@ -425,50 +612,48 @@ CheckResult AuditEngine::check_semantics() {
   // any semantic relationship are zombies holding limited resources.
   for (db::TableId t = 0; t < db_.table_count(); ++t) {
     const auto& spec = db_.schema().tables[t];
-    const bool has_pk =
-        std::any_of(spec.fields.begin(), spec.fields.end(),
-                    [](const db::FieldSpec& field) {
-                      return field.role == db::FieldRole::PrimaryKey;
-                    });
-    bool referenced_by_schema = false;
-    for (db::TableId u = 0; u < db_.table_count(); ++u) {
-      for (const auto& field : db_.schema().tables[u].fields) {
-        if (field.role == db::FieldRole::ForeignKey && field.ref_table == t) {
-          referenced_by_schema = true;
-        }
-      }
-    }
-    if (!spec.dynamic || !has_pk || !referenced_by_schema || db_.lock_info(t)) {
+    if (!spec.dynamic || !has_pk_[t] || referencing_[t].empty() ||
+        db_.lock_info(t)) {
       continue;
+    }
+    if (!exhaustive) {
+      // A record's referencedness can only change when the table itself or
+      // one of its referencing tables was written — the reverse-reference
+      // index makes that a couple of generation compares.
+      bool touched = db_.table_field_generation(t) > semantic_watermark_;
+      for (const auto& [u, f] : referencing_[t]) {
+        (void)f;
+        touched = touched || db_.table_field_generation(u) > semantic_watermark_;
+      }
+      if (!touched) {
+        continue;
+      }
     }
 
     std::vector<bool> referenced(spec.num_records, false);
-    for (db::TableId u = 0; u < db_.table_count(); ++u) {
+    for (const auto& [u, f] : referencing_[t]) {
       const auto& uspec = db_.schema().tables[u];
       if (!uspec.dynamic) {
         continue;
       }
-      for (db::FieldId f = 0; f < uspec.fields.size(); ++f) {
-        if (uspec.fields[f].role != db::FieldRole::ForeignKey ||
-            uspec.fields[f].ref_table != t) {
+      for (db::RecordIndex r = 0; r < uspec.num_records; ++r) {
+        if (db::direct::read_header(db_, u, r).status != db::kStatusActive) {
           continue;
         }
-        for (db::RecordIndex r = 0; r < uspec.num_records; ++r) {
-          if (db::direct::read_header(db_, u, r).status != db::kStatusActive) {
-            continue;
-          }
-          const std::int32_t key = db::direct::read_field(db_, u, r, f);
-          if (key > 0 &&
-              static_cast<db::RecordIndex>(key - 1) < spec.num_records) {
-            referenced[static_cast<std::size_t>(key - 1)] = true;
-          }
+        const std::int32_t key = db::direct::read_field(db_, u, r, f);
+        if (key > 0 &&
+            static_cast<db::RecordIndex>(key - 1) < spec.num_records) {
+          referenced[static_cast<std::size_t>(key - 1)] = true;
         }
       }
     }
     for (db::RecordIndex r = 0; r < spec.num_records; ++r) {
       const auto header = db::direct::read_header(db_, t, r);
-      if (header.status != db::kStatusActive || referenced[r] ||
-          recently_written(t, r)) {
+      if (header.status != db::kStatusActive || referenced[r]) {
+        continue;
+      }
+      if (recently_written(t, r)) {
+        hold_watermark(db_.field_generation(t, r), new_mark);
         continue;
       }
       result.cost += config_.cost_per_loop_semantic;
@@ -476,16 +661,34 @@ CheckResult AuditEngine::check_semantics() {
       free_and_terminate(t, r, Technique::SemanticCheck);
     }
   }
+  semantic_watermark_ = new_mark;
   return result;
 }
 
 CheckResult AuditEngine::check_selective(db::TableId t) {
+  return selective_scan(t, true);
+}
+CheckResult AuditEngine::check_selective_incremental(db::TableId t) {
+  return selective_scan(t, false);
+}
+
+CheckResult AuditEngine::selective_scan(db::TableId t, bool exhaustive) {
   CheckResult result;
   if (!config_.selective_monitoring || t >= db_.table_count()) {
     return result;
   }
   const auto& spec = db_.schema().tables[t];
   if (!spec.dynamic || db_.lock_info(t)) {
+    return result;
+  }
+  const std::uint64_t mark = db_.write_generation();
+  std::uint64_t new_mark = mark;
+  // The derived invariant is a histogram over the WHOLE table, so there is
+  // no per-record narrowing — but when nothing in the table changed, the
+  // histograms (and the verdicts drawn from them) cannot have changed
+  // either, and the table-level generation proves it.
+  if (!exhaustive && db_.table_field_generation(t) <= selective_watermark_[t]) {
+    selective_watermark_[t] = mark;
     return result;
   }
   for (db::FieldId f = 0; f < spec.fields.size(); ++f) {
@@ -498,8 +701,11 @@ CheckResult AuditEngine::check_selective(db::TableId t) {
     }
     common::ValueHistogram histogram;
     for (db::RecordIndex r = 0; r < spec.num_records; ++r) {
-      if (db::direct::read_header(db_, t, r).status != db::kStatusActive ||
-          recently_written(t, r)) {
+      if (db::direct::read_header(db_, t, r).status != db::kStatusActive) {
+        continue;
+      }
+      if (recently_written(t, r)) {
+        hold_watermark(db_.field_generation(t, r), new_mark);
         continue;
       }
       result.cost += config_.cost_per_field_range;
@@ -545,6 +751,7 @@ CheckResult AuditEngine::check_selective(db::TableId t) {
       }
     }
   }
+  selective_watermark_[t] = new_mark;
   return result;
 }
 
@@ -554,6 +761,9 @@ CheckResult AuditEngine::check_record(db::TableId t, db::RecordIndex r) {
       r >= db_.schema().tables[t].num_records) {
     return result;
   }
+  // One targeted event check books exactly one event-check cost: header
+  // inspection and the (few) field reads are one cache-resident visit to
+  // the record, not a header pass plus a separate range pass.
   result.cost += config_.cost_event_check;
 
   // Header check (expected next recomputed against current group layout).
@@ -568,9 +778,7 @@ CheckResult AuditEngine::check_record(db::TableId t, db::RecordIndex r) {
       }
     }
   }
-  bool corrupted = false;
-  result += check_one_header(t, r, expected_next, corrupted);
-  if (corrupted) {
+  if (header_corrupted(t, r, expected_next)) {
     Finding finding;
     finding.technique = Technique::StructuralCheck;
     finding.recovery = Recovery::RepairHeader;
@@ -581,6 +789,10 @@ CheckResult AuditEngine::check_record(db::TableId t, db::RecordIndex r) {
     report(finding);
     ++result.findings;
     db::direct::repair_header(db_, t, r);
+    // Short-circuit: the repair decided the record's fate (it may have
+    // been freed), and no per-field range work was performed — so no
+    // per-field range cost is booked either.
+    return result;
   }
 
   // Range check of this record only, ignoring the write-grace window: the
@@ -631,6 +843,30 @@ CheckResult AuditEngine::full_pass(const std::vector<db::TableId>& order) {
     }
   }
   result += check_semantics();
+  return result;
+}
+
+CheckResult AuditEngine::incremental_pass(const std::vector<db::TableId>& order) {
+  ++cycle_index_;
+  const bool sweep = config_.full_sweep_interval != 0 &&
+                     cycle_index_ % config_.full_sweep_interval == 0;
+  if (sweep) {
+    ++full_sweeps_;
+  }
+  // A sweep cycle runs the scans exhaustively — same checks and costs as
+  // the baseline pass — which both catches corruption the dirty tracking
+  // never saw (raw-memory writes bypassing the store) and advances every
+  // watermark, clearing the accumulated dirty state.
+  CheckResult result;
+  result += static_scan(sweep);
+  for (const db::TableId t : order) {
+    result += structure_scan(t, sweep);
+    result += ranges_scan(t, sweep);
+    if (config_.selective_monitoring) {
+      result += selective_scan(t, sweep);
+    }
+  }
+  result += semantics_scan(sweep);
   return result;
 }
 

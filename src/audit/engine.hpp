@@ -56,6 +56,18 @@ struct EngineConfig {
   /// Static-data checksum chunk size: detection (and reload) granularity.
   std::size_t static_chunk_bytes = 256;
 
+  /// Incremental (dirty-tracking) audit: `incremental_pass` scans only
+  /// data written through the store since each check's generation
+  /// watermark — same per-item costs, a fraction of the items.
+  bool incremental = false;
+  /// Every Nth incremental cycle runs the old exhaustive pass, so
+  /// raw-memory corruption that bypassed the write path (and therefore
+  /// left no dirty stamp) is still caught within N periods. This is the
+  /// coverage/cost knob: 1 degenerates to the exhaustive baseline, 0
+  /// disables sweeps entirely (store-path coverage only). The escape rate
+  /// it buys is measured by bench/ablation_incremental_audit.
+  std::uint32_t full_sweep_interval = 10;
+
   // --- modelled CPU cost (microseconds). The controller's production
   // database is far larger than this reproduction's, so `cost_scale`
   // multiplies the per-item costs to recreate the paper's audit CPU load
@@ -118,7 +130,39 @@ class AuditEngine {
   /// semantic loops.
   CheckResult full_pass(const std::vector<db::TableId>& order);
 
+  // --- incremental (dirty-tracking) variants ---
+  // Same detection and recovery logic as the exhaustive checks, but only
+  // data whose write generation exceeds the check's watermark is scanned
+  // (and costed). Watermarks are epoch-based: each scan captures the global
+  // write generation at its start and adopts it at the end, so writes that
+  // race the scan keep generations above the new watermark and stay dirty
+  // for the next cycle. Records skipped for any other reason (write-grace
+  // window, table lock) hold the watermark back so they are revisited.
+  // The content checks (range / selective / semantic) consume *field*
+  // generations: group relinks rewrite only header link words, bumping the
+  // record generation the structural check watches but not the field
+  // generation, so link churn does not force content rescans. The range
+  // check additionally skips freed records whose scrub attestation stands
+  // (field_generation == scrub_generation — fields are catalog defaults by
+  // construction).
+  CheckResult check_static_incremental();
+  CheckResult check_structure_incremental(db::TableId t);
+  CheckResult check_ranges_incremental(db::TableId t);
+  CheckResult check_semantics_incremental();
+  CheckResult check_selective_incremental(db::TableId t);
+
+  /// One incremental audit cycle over the given table order. Every
+  /// `full_sweep_interval`-th call runs the exhaustive pass instead (which
+  /// also advances all watermarks) to bound the detection latency of
+  /// corruption that bypassed the store's dirty tracking.
+  CheckResult incremental_pass(const std::vector<db::TableId>& order);
+
   [[nodiscard]] std::uint64_t total_findings() const noexcept { return findings_; }
+  /// Exhaustive sweeps executed by `incremental_pass` so far.
+  [[nodiscard]] std::uint64_t full_sweeps() const noexcept { return full_sweeps_; }
+  [[nodiscard]] std::uint64_t incremental_cycles() const noexcept {
+    return cycle_index_;
+  }
 
   /// For non-engine elements (e.g. the progress indicator) to report
   /// through the same sink; stamps the time.
@@ -131,10 +175,25 @@ class AuditEngine {
   void free_and_terminate(db::TableId t, db::RecordIndex r, Technique technique);
   CheckResult check_one_header(db::TableId t, db::RecordIndex r,
                                std::uint32_t expected_next, bool& corrupted);
+  [[nodiscard]] bool header_corrupted(db::TableId t, db::RecordIndex r,
+                                      std::uint32_t expected_next) const;
   /// Follows the FK chain from (t, r); returns false on violation.
   [[nodiscard]] bool loop_intact(db::TableId t, db::RecordIndex r,
                                  std::vector<std::pair<db::TableId, db::RecordIndex>>&
                                      chain) const;
+
+  // Shared implementations of the exhaustive/incremental check pairs.
+  CheckResult static_scan(bool exhaustive);
+  CheckResult structure_scan(db::TableId t, bool exhaustive);
+  CheckResult ranges_scan(db::TableId t, bool exhaustive);
+  CheckResult semantics_scan(bool exhaustive);
+  CheckResult selective_scan(db::TableId t, bool exhaustive);
+  /// A record was skipped without being verified: pull `new_mark` below
+  /// its write generation `gen` so the next incremental scan revisits it.
+  /// Callers pass the generation from the same domain their dirty test
+  /// uses (record_generation for structure, field_generation for the
+  /// content checks).
+  static void hold_watermark(std::uint64_t gen, std::uint64_t& new_mark);
 
   db::Database& db_;
   EngineConfig config_;
@@ -149,6 +208,28 @@ class AuditEngine {
     std::uint32_t golden_crc;
   };
   std::vector<StaticChunk> static_chunks_;
+
+  // --- incremental-audit state ---
+  std::uint64_t static_watermark_ = 0;
+  std::uint64_t semantic_watermark_ = 0;
+  std::vector<std::uint64_t> structure_watermark_;  ///< per table
+  std::vector<std::uint64_t> ranges_watermark_;     ///< per table
+  std::vector<std::uint64_t> selective_watermark_;  ///< per table
+  std::uint64_t cycle_index_ = 0;
+  std::uint64_t full_sweeps_ = 0;
+  /// Reverse-reference index, precomputed from the schema: for each table
+  /// t, every (table, field) whose ForeignKey references t. The semantic
+  /// audit's orphan sweep walks this instead of rescanning the schema, and
+  /// the incremental variant uses it to prove a table's referencedness
+  /// cannot have changed.
+  std::vector<std::vector<std::pair<db::TableId, db::FieldId>>> referencing_;
+  /// Tables that anchor semantic loop walks (dynamic + FK-bearing).
+  std::vector<char> anchor_table_;
+  /// Tables with a PrimaryKey field (orphan-sweep candidates).
+  std::vector<char> has_pk_;
+  /// Per-anchor dirty sets: the loop anchor each record last belonged to,
+  /// so a write to any chain member re-walks exactly that loop.
+  std::vector<std::vector<std::pair<db::TableId, db::RecordIndex>>> chain_anchor_;
 };
 
 }  // namespace wtc::audit

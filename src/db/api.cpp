@@ -279,9 +279,7 @@ Status DbApi::write_rec(TableId t, RecordIndex r, std::span<const std::int32_t> 
     for (std::size_t f = 0; f < n; ++f) {
       store_i32(db_.region(), at + kRecordHeaderSize + f * 4, values[f]);
     }
-    if (auto* obs = db_.observer()) {
-      obs->on_legitimate_write(at + kRecordHeaderSize, n * 4);
-    }
+    db_.note_write(at + kRecordHeaderSize, n * 4);
   }
   if (auto_locked) {
     db_.unlock(t, pid_);
@@ -316,9 +314,7 @@ Status DbApi::write_fld(TableId t, RecordIndex r, FieldId f, std::int32_t value)
   } else {
     const std::size_t field_at = at + kRecordHeaderSize + static_cast<std::size_t>(f) * 4;
     store_i32(db_.region(), field_at, value);
-    if (auto* obs = db_.observer()) {
-      obs->on_legitimate_write(field_at, 4);
-    }
+    db_.note_write(field_at, 4);
   }
   if (auto_locked) {
     db_.unlock(t, pid_);
@@ -363,9 +359,7 @@ Status DbApi::move_rec(TableId t, RecordIndex r, std::uint32_t target_group) {
   } else {
     header.group = target_group;
     store_record_header(db_.region(), at, header);
-    if (auto* obs = db_.observer()) {
-      obs->on_legitimate_write(at + 8, 4);  // group word rewritten
-    }
+    db_.note_write(at + 8, 4);  // group word rewritten
     relink_groups(desc, t);
   }
   if (auto_locked) {
@@ -409,10 +403,8 @@ Status DbApi::alloc_rec(TableId t, std::uint32_t group, RecordIndex& out) {
         store_i32(db_.region(), at + kRecordHeaderSize + static_cast<std::size_t>(f) * 4,
                   field_desc ? field_desc->default_value : 0);
       }
-      if (auto* obs = db_.observer()) {
-        obs->on_legitimate_write(at + 4, 8);  // status + group
-        obs->on_legitimate_write(at + kRecordHeaderSize, desc.num_fields * 4);
-      }
+      db_.note_write(at + 4, 8);  // status + group
+      db_.note_write(at + kRecordHeaderSize, desc.num_fields * 4);
       relink_groups(desc, t);
       out = r;
       result = Status::Ok;
@@ -457,10 +449,11 @@ Status DbApi::free_rec(TableId t, RecordIndex r) {
       store_i32(db_.region(), at + kRecordHeaderSize + static_cast<std::size_t>(f) * 4,
                 field_desc ? field_desc->default_value : 0);
     }
-    if (auto* obs = db_.observer()) {
-      obs->on_legitimate_write(at + 4, 8);  // status + group
-      obs->on_legitimate_write(at + kRecordHeaderSize, desc.num_fields * 4);
-    }
+    db_.note_write(at + 4, 8);  // status + group
+    // The field rewrite above is a full scrub to catalog defaults, so the
+    // store attests it: the incremental range audit can skip the freed
+    // record until something writes its field area again.
+    db_.note_scrub(at + kRecordHeaderSize, desc.num_fields * 4);
     relink_groups(desc, t);
     touch_meta(t, r, true);
   }

@@ -20,13 +20,117 @@ Database::Database(Schema schema, const PopulateFn& populate)
   for (const auto& table : schema_.tables) {
     record_meta_.emplace_back(table.num_records);
   }
+
+  // Dirty tracking starts all-clean (generation 0): the formatted +
+  // populated region IS the pristine image, so there is nothing for an
+  // incremental audit to look at until the first store write.
+  chunk_gen_.assign(region_.size() / kDirtyChunkBytes + 1, 0);
+  table_gen_.assign(schema_.tables.size(), 0);
+  table_header_gen_.assign(schema_.tables.size(), 0);
+  table_field_gen_.assign(schema_.tables.size(), 0);
+  record_gen_.reserve(schema_.tables.size());
+  header_gen_.reserve(schema_.tables.size());
+  field_gen_.reserve(schema_.tables.size());
+  scrub_gen_.reserve(schema_.tables.size());
+  for (const auto& table : schema_.tables) {
+    record_gen_.emplace_back(table.num_records, 0);
+    header_gen_.emplace_back(table.num_records, 0);
+    field_gen_.emplace_back(table.num_records, 0);
+    scrub_gen_.emplace_back(table.num_records, 0);
+  }
+}
+
+void Database::note_write(std::size_t offset, std::size_t len) noexcept {
+  mark_written(offset, len);
+  if (observer_ != nullptr) {
+    observer_->on_legitimate_write(offset, len);
+  }
+}
+
+void Database::mark_written(std::size_t offset, std::size_t len) noexcept {
+  const std::size_t end = std::min(offset + len, region_.size());
+  if (offset >= end) {
+    return;
+  }
+  const std::uint64_t gen = ++write_gen_;
+  for (std::size_t c = offset / kDirtyChunkBytes; c <= (end - 1) / kDirtyChunkBytes;
+       ++c) {
+    chunk_gen_[c] = gen;
+  }
+  for (std::size_t t = 0; t < layout_.tables().size(); ++t) {
+    const auto range = layout_.records_overlapping(static_cast<TableId>(t),
+                                                   offset, end - offset);
+    if (!range) {
+      continue;
+    }
+    table_gen_[t] = gen;
+    const auto& tl = layout_.tables()[t];
+    for (RecordIndex r = range->first; r <= range->second; ++r) {
+      record_gen_[t][r] = gen;
+      // The span overlaps this record; it touched the field area iff it
+      // reaches past the record header, and the header iff it starts
+      // before the field area.
+      const std::size_t field_start = tl.offset +
+                                      static_cast<std::size_t>(r) * tl.record_size +
+                                      kRecordHeaderSize;
+      if (offset < field_start) {
+        header_gen_[t][r] = gen;
+        table_header_gen_[t] = gen;
+      }
+      if (end > field_start && tl.num_fields > 0) {
+        field_gen_[t][r] = gen;
+        table_field_gen_[t] = gen;
+      }
+    }
+  }
+}
+
+void Database::note_scrub(std::size_t offset, std::size_t len) noexcept {
+  note_write(offset, len);
+  const std::size_t end = std::min(offset + len, region_.size());
+  if (offset >= end) {
+    return;
+  }
+  for (std::size_t t = 0; t < layout_.tables().size(); ++t) {
+    const auto range = layout_.records_overlapping(static_cast<TableId>(t),
+                                                   offset, end - offset);
+    if (!range) {
+      continue;
+    }
+    const auto& tl = layout_.tables()[t];
+    for (RecordIndex r = range->first; r <= range->second; ++r) {
+      const std::size_t field_start = tl.offset +
+                                      static_cast<std::size_t>(r) * tl.record_size +
+                                      kRecordHeaderSize;
+      const std::size_t field_end = field_start + tl.num_fields * 4;
+      if (offset <= field_start && end >= field_end && tl.num_fields > 0) {
+        scrub_gen_[t][r] = write_gen_;
+      }
+    }
+  }
+}
+
+bool Database::span_written_since(std::size_t offset, std::size_t len,
+                                  std::uint64_t gen) const noexcept {
+  if (write_gen_ <= gen || len == 0) {
+    return false;
+  }
+  const std::size_t end = std::min(offset + len, region_.size());
+  if (offset >= end) {
+    return false;
+  }
+  for (std::size_t c = offset / kDirtyChunkBytes; c <= (end - 1) / kDirtyChunkBytes;
+       ++c) {
+    if (chunk_gen_[c] > gen) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void Database::reload_all_from_disk() noexcept {
   std::memcpy(region_.data(), pristine_.data(), region_.size());
-  if (observer_ != nullptr) {
-    observer_->on_legitimate_write(0, region_.size());
-  }
+  note_write(0, region_.size());
 }
 
 void Database::reload_span_from_disk(std::size_t offset, std::size_t len) noexcept {
@@ -35,9 +139,7 @@ void Database::reload_span_from_disk(std::size_t offset, std::size_t len) noexce
     return;
   }
   std::memcpy(region_.data() + offset, pristine_.data() + offset, end - offset);
-  if (observer_ != nullptr) {
-    observer_->on_legitimate_write(offset, end - offset);
-  }
+  note_write(offset, end - offset);
 }
 
 void Database::reload_catalog_from_disk() noexcept {
@@ -53,9 +155,7 @@ bool Database::install_image(std::span<const std::byte> bytes) {
   }
   std::memcpy(region_.data(), bytes.data(), bytes.size());
   pristine_.assign(bytes.begin(), bytes.end());
-  if (observer_ != nullptr) {
-    observer_->on_legitimate_write(0, region_.size());
-  }
+  note_write(0, region_.size());
   return true;
 }
 

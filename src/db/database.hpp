@@ -69,6 +69,11 @@ struct LockInfo {
 
 class Database {
  public:
+  /// Granularity of the region-wide dirty-chunk generation grid (matches
+  /// the audit engine's default `static_chunk_bytes`, so one static-audit
+  /// chunk maps onto a constant number of dirty chunks).
+  static constexpr std::size_t kDirtyChunkBytes = 256;
+
   /// `populate` (optional) runs after the region is formatted and before
   /// the pristine disk image is snapshotted — use it to fill static tables
   /// with their real (distinct) configuration values so the golden
@@ -137,6 +142,83 @@ class Database {
     return schema_.tables.size();
   }
 
+  // --- write-time dirty tracking (incremental audit support) ---
+  // Every mutation of region bytes that goes through the store — API
+  // writes, the audit's direct-access recovery writes, disk reloads, and
+  // injected corruption modelling wild software writes — bumps a global
+  // monotonically increasing write generation and stamps it on the touched
+  // records, their tables, and the fixed-size dirty chunks covering the
+  // byte span. The incremental audit compares these stamps against the
+  // generation watermark it recorded at its previous scan: stamp greater
+  // than watermark means "written since I last looked" (an epoch-based
+  // dirty bitmap that never needs clearing). Raw-memory corruption that
+  // bypasses the store leaves no stamp — catching it is what the audit's
+  // periodic full sweep is for.
+
+  /// Marks [offset, offset+len) written, then forwards the legitimate-write
+  /// notification to the experiment observer. Store write paths call this.
+  void note_write(std::size_t offset, std::size_t len) noexcept;
+
+  /// Marks [offset, offset+len) written WITHOUT an observer notification —
+  /// the injector's through-store corruption path (the written bytes are
+  /// anything but legitimate, yet a wild write by faulty software does go
+  /// through the memory system and is visible to write tracking).
+  void mark_written(std::size_t offset, std::size_t len) noexcept;
+
+  [[nodiscard]] std::uint64_t write_generation() const noexcept {
+    return write_gen_;
+  }
+  /// Generation of the last store write touching any byte of table `t`.
+  [[nodiscard]] std::uint64_t table_generation(TableId t) const {
+    return table_gen_.at(t);
+  }
+  /// Generation of the last store write touching record (t, r).
+  [[nodiscard]] std::uint64_t record_generation(TableId t, RecordIndex r) const {
+    return record_gen_.at(t).at(r);
+  }
+  /// Generation of the last store write touching the 16-byte *header* of
+  /// record (t, r). Field-only writes (normal call-data updates) bump
+  /// record_generation but not this — letting the structural check ignore
+  /// traffic that cannot have changed id/status/group/link words.
+  [[nodiscard]] std::uint64_t header_generation(TableId t, RecordIndex r) const {
+    return header_gen_.at(t).at(r);
+  }
+  /// Generation of the last header write anywhere in table `t`.
+  [[nodiscard]] std::uint64_t table_header_generation(TableId t) const {
+    return table_header_gen_.at(t);
+  }
+  /// Generation of the last store write touching the *field area* (the
+  /// bytes past the 16-byte header) of record (t, r). Group relinks rewrite
+  /// only header link words, so they bump record_generation but not this —
+  /// letting the content checks (range / selective / semantic) ignore
+  /// traffic that cannot have changed field values.
+  [[nodiscard]] std::uint64_t field_generation(TableId t, RecordIndex r) const {
+    return field_gen_.at(t).at(r);
+  }
+  /// Generation of the last field-area write anywhere in table `t`.
+  [[nodiscard]] std::uint64_t table_field_generation(TableId t) const {
+    return table_field_gen_.at(t);
+  }
+  /// Generation of the last *scrub* of record (t, r): a store write that
+  /// rewrote the record's whole field area with catalog defaults (the
+  /// free-record path). While field_generation == scrub_generation > 0 the
+  /// field bytes equal their defaults by construction (the defaults come
+  /// from the trusted out-of-region schema), so the range check can attest
+  /// the record without reading it; any later field write — including
+  /// through-store corruption — breaks the equality.
+  [[nodiscard]] std::uint64_t scrub_generation(TableId t, RecordIndex r) const {
+    return scrub_gen_.at(t).at(r);
+  }
+  /// note_write variant for the free-record scrub: marks the span written,
+  /// then stamps the scrub generation of every record whose whole field
+  /// area lies inside [offset, offset+len).
+  void note_scrub(std::size_t offset, std::size_t len) noexcept;
+  /// True if any store write has touched [offset, offset+len) since
+  /// generation `gen` (chunk-granular: may over-approximate within
+  /// kDirtyChunkBytes, never under-approximate).
+  [[nodiscard]] bool span_written_since(std::size_t offset, std::size_t len,
+                                        std::uint64_t gen) const noexcept;
+
   // --- experiment oracle hook ---
   void set_observer(RegionObserver* observer) noexcept { observer_ = observer; }
   [[nodiscard]] RegionObserver* observer() const noexcept { return observer_; }
@@ -150,6 +232,17 @@ class Database {
   std::vector<std::vector<RecordMeta>> record_meta_;  // [table][record]
   std::vector<TableStats> table_stats_;               // per table
   RegionObserver* observer_ = nullptr;
+
+  // Dirty-tracking state (see the write-time dirty tracking section above).
+  std::uint64_t write_gen_ = 0;
+  std::vector<std::uint64_t> chunk_gen_;               // region / kDirtyChunkBytes
+  std::vector<std::uint64_t> table_gen_;               // per table
+  std::vector<std::uint64_t> table_header_gen_;        // per table, headers
+  std::vector<std::uint64_t> table_field_gen_;         // per table, field area
+  std::vector<std::vector<std::uint64_t>> record_gen_;  // [table][record]
+  std::vector<std::vector<std::uint64_t>> header_gen_;  // [table][record]
+  std::vector<std::vector<std::uint64_t>> field_gen_;   // [table][record]
+  std::vector<std::vector<std::uint64_t>> scrub_gen_;   // [table][record]
 };
 
 }  // namespace wtc::db

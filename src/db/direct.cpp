@@ -1,33 +1,38 @@
 #include "db/direct.hpp"
 
 #include <array>
+#include <vector>
 
 namespace wtc::db::direct {
 
 void relink_table(Database& db, TableId t) {
   const auto& tl = db.layout().table(t);
   auto region = db.region();
+  // Compute the correct `next` of every record first, then store only the
+  // words that actually change. Relinking runs on every alloc/free/move, so
+  // blanket stores would mark the whole table dirty (defeating incremental
+  // audit) and over-report legitimate overwrites to the oracle; an
+  // unchanged link word was neither rewritten nor cleansed.
+  std::vector<std::uint32_t> expected(tl.num_records, kNilLink);
   std::array<std::uint32_t, kMaxGroups> last_in_group;
   last_in_group.fill(kNilLink);
   for (RecordIndex r = 0; r < tl.num_records; ++r) {
-    const std::size_t at = db.layout().record_offset(t, r);
-    const std::uint32_t group = load_u32(region, at + 8);
-    store_u32(region, at + 12, kNilLink);
+    const std::uint32_t group =
+        load_u32(region, db.layout().record_offset(t, r) + 8);
     if (group < kMaxGroups) {
       if (last_in_group[group] != kNilLink) {
-        const std::size_t prev_at =
-            db.layout().record_offset(t, last_in_group[group]);
-        store_u32(region, prev_at + 12, r);
+        expected[last_in_group[group]] = r;
       }
       last_in_group[group] = r;
     }
   }
-  if (auto* obs = db.observer()) {
-    // Only the `next` link words were rewritten — report exactly those, or
-    // the oracle would count unrelated corruption as harmlessly overwritten.
-    for (RecordIndex r = 0; r < tl.num_records; ++r) {
-      obs->on_legitimate_write(db.layout().record_offset(t, r) + 12, 4);
+  for (RecordIndex r = 0; r < tl.num_records; ++r) {
+    const std::size_t link_at = db.layout().record_offset(t, r) + 12;
+    if (load_u32(region, link_at) == expected[r]) {
+      continue;
     }
+    store_u32(region, link_at, expected[r]);
+    db.note_write(link_at, 4);
   }
 }
 
@@ -44,9 +49,9 @@ void free_record(Database& db, TableId t, RecordIndex r) {
   for (std::size_t f = 0; f < fields.size(); ++f) {
     store_i32(region, at + kRecordHeaderSize + f * 4, fields[f].default_value);
   }
-  if (auto* obs = db.observer()) {
-    obs->on_legitimate_write(at, db.layout().table(t).record_size);
-  }
+  // Whole-record write whose field portion is a scrub to catalog defaults —
+  // attest it so the incremental range audit can skip the freed record.
+  db.note_scrub(at, db.layout().table(t).record_size);
   relink_table(db, t);
 }
 
@@ -54,6 +59,7 @@ void repair_header(Database& db, TableId t, RecordIndex r) {
   const std::size_t at = db.layout().record_offset(t, r);
   auto region = db.region();
   RecordHeader header = load_record_header(region, at);
+  const std::uint32_t original_status = header.status;
   header.id_tag = expected_id_tag(t, r);
   if (header.status != kStatusFree && header.status != kStatusActive) {
     header.status = kStatusFree;  // unrecoverable status: drop the record
@@ -74,8 +80,19 @@ void repair_header(Database& db, TableId t, RecordIndex r) {
     }
   }
   store_record_header(region, at, header);
-  if (auto* obs = db.observer()) {
-    obs->on_legitimate_write(at, kRecordHeaderSize);
+  db.note_write(at, kRecordHeaderSize);
+  if (header.status == kStatusFree && original_status != kStatusFree) {
+    // The repair dropped the record. A freed record must hold its catalog
+    // defaults (every other free path scrubs), so leaving the stale call
+    // data in place would just hand the range audit a spurious finding on
+    // an already-recovered record — and it is a status transition with no
+    // accompanying field write, which the incremental content checks are
+    // entitled to assume never happens.
+    const auto& fields = db.schema().tables.at(t).fields;
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      store_i32(region, at + kRecordHeaderSize + f * 4, fields[f].default_value);
+    }
+    db.note_scrub(at + kRecordHeaderSize, fields.size() * 4);
   }
   relink_table(db, t);
 }
@@ -84,9 +101,7 @@ void write_field(Database& db, TableId t, RecordIndex r, FieldId f,
                  std::int32_t value) {
   const std::size_t at = db.layout().field_offset(t, r, f);
   store_i32(db.region(), at, value);
-  if (auto* obs = db.observer()) {
-    obs->on_legitimate_write(at, 4);
-  }
+  db.note_write(at, 4);
 }
 
 std::int32_t read_field(const Database& db, TableId t, RecordIndex r, FieldId f) {

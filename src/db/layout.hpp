@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "db/schema.hpp"
@@ -119,6 +120,13 @@ class Layout {
     bool in_header;  ///< offset falls in the record header
   };
   [[nodiscard]] std::optional<Location> locate(std::size_t offset) const noexcept;
+
+  /// Inclusive [first, last] record indices of table `t` overlapping the
+  /// byte span [offset, offset+len); nullopt when the span misses the
+  /// table entirely. Write-time dirty tracking stamps exactly this range.
+  [[nodiscard]] std::optional<std::pair<RecordIndex, RecordIndex>>
+  records_overlapping(TableId t, std::size_t offset,
+                      std::size_t len) const noexcept;
 
  private:
   std::size_t region_size_ = 0;

@@ -62,8 +62,10 @@ AuditRunResult run_audit_experiment(const AuditRunParams& params) {
   result.avg_setup_ms = client->stats().setup_time_ms.mean();
   if (params.audits_enabled && node.alive(audit_pid)) {
     if (auto process = node.find(audit_pid)) {
-      result.audit_cycles =
-          static_cast<audit::AuditProcess*>(process.get())->cycles();
+      auto* audit = static_cast<audit::AuditProcess*>(process.get());
+      result.audit_cycles = audit->cycles();
+      result.audit_cost = audit->total_cost();
+      result.full_sweeps = audit->engine().full_sweeps();
     }
   }
   return result;
@@ -132,6 +134,13 @@ AggregateAuditResult run_audit_series(AuditRunParams params, std::size_t runs) {
     if (run.oracle.detection_latency_s.count() > 0) {
       aggregate.detection_latency_s.add(run.oracle.detection_latency_s.mean());
     }
+    if (run.audit_cycles > 0) {
+      aggregate.audit_cost_per_cycle_us.add(
+          static_cast<double>(run.audit_cost) /
+          static_cast<double>(run.audit_cycles));
+    }
+    aggregate.audit_cycles += run.audit_cycles;
+    aggregate.full_sweeps += run.full_sweeps;
     const ErrorBreakdown b = classify_injections(run.injections);
     aggregate.breakdown.structural_detected += b.structural_detected;
     aggregate.breakdown.structural_escaped += b.structural_escaped;

@@ -37,6 +37,12 @@ struct AuditRunResult {
   callproc::NativeCallClient::Stats client;
   std::uint64_t audit_cycles = 0;
   std::uint64_t audit_findings = 0;
+  /// Total modelled audit CPU booked by periodic cycles (simulated time
+  /// units); divide by `audit_cycles` for the per-cycle cost the
+  /// incremental-audit ablation compares.
+  sim::Duration audit_cost = 0;
+  /// Exhaustive sweeps the incremental engine ran (0 for the baseline).
+  std::uint64_t full_sweeps = 0;
   std::uint32_t manager_restarts = 0;
   double avg_setup_ms = 0.0;
 };
@@ -73,6 +79,10 @@ struct AggregateAuditResult {
   std::size_t no_effect = 0;
   common::RunningStats setup_ms;
   common::RunningStats detection_latency_s;
+  /// Per-run mean audit CPU per periodic cycle, in simulated µs.
+  common::RunningStats audit_cost_per_cycle_us;
+  std::uint64_t audit_cycles = 0;
+  std::uint64_t full_sweeps = 0;
   ErrorBreakdown breakdown;
 };
 

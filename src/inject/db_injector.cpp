@@ -75,6 +75,11 @@ void DbErrorInjector::run_burst(std::uint64_t remaining) {
 void DbErrorInjector::inject_at(std::size_t offset) {
   const auto bit = static_cast<std::uint8_t>(rng_.uniform(8));
   db_.region()[offset] ^= static_cast<std::byte>(1u << bit);
+  if (config_.through_store) {
+    // A wild write traverses the memory system like any other store, so
+    // dirty tracking sees it (mark only — nothing legitimate about it).
+    db_.mark_written(offset, 1);
+  }
   oracle_.record_injection(offset, bit);
   ++injected_;
 }

@@ -42,6 +42,14 @@ struct DbInjectorConfig {
   /// Stop after this many injections (0 = unlimited).
   std::uint64_t max_injections = 0;
 
+  /// Whether flips go through the database store (visible to write-time
+  /// dirty tracking, like the wild writes of a faulty software component —
+  /// the dominant corruption source the paper measured) or are planted in
+  /// raw memory, bypassing the store (hardware upsets). The incremental
+  /// audit's periodic full sweep exists for the bypass case; the
+  /// incremental-audit ablation measures its escape rate under both.
+  bool through_store = true;
+
   // --- Bursty arrival shape ---
   /// Flips per burst (uniform in [1, burst_size]).
   std::uint32_t burst_size = 6;
