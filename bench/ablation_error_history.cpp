@@ -18,6 +18,7 @@ using namespace wtc;
 
 int main(int argc, char** argv) {
   const std::size_t runs = bench::flag(argc, argv, "runs", 8);
+  bench::campaign_init(argc, argv);
 
   common::TablePrinter table({"Error process", "History weight", "Escaped %",
                               "Caught", "Latency (s)"});

@@ -14,6 +14,7 @@ using namespace wtc;
 
 int main(int argc, char** argv) {
   const std::size_t runs = bench::flag(argc, argv, "runs", 10);
+  bench::campaign_init(argc, argv);
 
   common::TablePrinter table({"Configuration", "Caught %", "Escaped %",
                               "Detection latency (s)", "Setup time (ms)"});

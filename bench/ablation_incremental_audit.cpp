@@ -223,6 +223,7 @@ int main(int argc, char** argv) {
   const std::size_t sweep_interval = bench::flag(argc, argv, "sweep", 10);
   const std::string json_path =
       bench::flag_str(argc, argv, "json", "BENCH_incremental_audit.json");
+  bench::campaign_init(argc, argv);
 
   const CrcCheck crc = crc_microbench();
   std::printf("CRC32 slice-by-8: vector %s, %.0f MB/s\n\n",

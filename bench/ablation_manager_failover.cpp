@@ -91,6 +91,7 @@ int main(int argc, char** argv) {
   const std::size_t runs = bench::flag(argc, argv, "runs", 8);
   const auto kill_every = static_cast<sim::Duration>(
       bench::flag(argc, argv, "killevery", 120) * sim::kSecond);
+  bench::campaign_init(argc, argv);
 
   struct Row {
     const char* name;
@@ -105,11 +106,18 @@ int main(int argc, char** argv) {
 
   common::TablePrinter table({"Deployment", "Caught %", "Escaped %", "Latent %",
                               "Restarts"});
+  experiments::CampaignOptions campaign_options;
+  campaign_options.label = "manager failover";
   for (const auto& row : rows) {
+    const auto results = experiments::run_campaign(
+        runs,
+        [&](std::size_t i) {
+          return run_one(row.manager, row.kill_every, 0xFA170 + i * 31);
+        },
+        campaign_options);
     std::size_t injected = 0, caught = 0, escaped = 0, latent = 0;
     std::uint32_t restarts = 0;
-    for (std::size_t i = 0; i < runs; ++i) {
-      const auto result = run_one(row.manager, row.kill_every, 0xFA170 + i * 31);
+    for (const auto& result : results) {
       injected += result.oracle.injected;
       caught += result.oracle.caught;
       escaped += result.oracle.escaped;

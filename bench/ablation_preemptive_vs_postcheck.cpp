@@ -21,6 +21,7 @@ using namespace wtc;
 
 int main(int argc, char** argv) {
   const std::size_t runs = bench::flag(argc, argv, "runs", 50);
+  bench::campaign_init(argc, argv);
 
   const experiments::CfcMode modes[] = {experiments::CfcMode::None,
                                         experiments::CfcMode::Bssc,

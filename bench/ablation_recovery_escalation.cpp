@@ -16,28 +16,36 @@ using namespace wtc;
 
 int main(int argc, char** argv) {
   const std::size_t runs = bench::flag(argc, argv, "runs", 6);
+  bench::campaign_init(argc, argv);
 
   common::TablePrinter table({"Recovery", "Caught %", "Escaped %", "Latent %",
                               "Setup (ms)"});
+  experiments::CampaignOptions campaign_options;
+  campaign_options.label = "recovery escalation";
   for (const bool escalation : {false, true}) {
+    const auto results = experiments::run_campaign(
+        runs,
+        [&](std::size_t i) {
+          auto params = bench::table2_params();
+          params.audits_enabled = true;
+          params.audit.escalation = escalation;
+          params.audit.escalation_config.table_reload_threshold = 10;
+          params.audit.escalation_config.window =
+              40 * static_cast<sim::Duration>(sim::kSecond);
+          // Storm: clustered errors arriving far faster than Table 2's rate.
+          params.injector.arrival = inject::ArrivalModel::Bursty;
+          params.injector.inter_arrival =
+              3 * static_cast<sim::Duration>(sim::kSecond);
+          params.injector.burst_size = 8;
+          params.injector.burst_radius = 200;
+          params.duration = 600 * static_cast<sim::Duration>(sim::kSecond);
+          params.seed = 0xE5CA + i * 131;
+          return experiments::run_audit_experiment(params);
+        },
+        campaign_options);
     std::size_t injected = 0, caught = 0, escaped = 0, latent = 0;
     common::RunningStats setup;
-    for (std::size_t i = 0; i < runs; ++i) {
-      auto params = bench::table2_params();
-      params.audits_enabled = true;
-      params.audit.escalation = escalation;
-      params.audit.escalation_config.table_reload_threshold = 10;
-      params.audit.escalation_config.window =
-          40 * static_cast<sim::Duration>(sim::kSecond);
-      // Storm: clustered errors arriving far faster than Table 2's rate.
-      params.injector.arrival = inject::ArrivalModel::Bursty;
-      params.injector.inter_arrival =
-          3 * static_cast<sim::Duration>(sim::kSecond);
-      params.injector.burst_size = 8;
-      params.injector.burst_radius = 200;
-      params.duration = 600 * static_cast<sim::Duration>(sim::kSecond);
-      params.seed = 0xE5CA + i * 131;
-      const auto result = experiments::run_audit_experiment(params);
+    for (const auto& result : results) {
       injected += result.oracle.injected;
       caught += result.oracle.caught;
       escaped += result.oracle.escaped;

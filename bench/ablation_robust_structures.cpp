@@ -79,11 +79,24 @@ TrialStats run_trials(std::uint32_t flips, std::size_t trials, std::uint64_t see
 
 int main(int argc, char** argv) {
   const std::size_t trials = bench::flag(argc, argv, "trials", 2000);
+  bench::campaign_init(argc, argv);
 
   common::TablePrinter table({"Bit flips", "Corrected", "Detected only",
                               "Wrong repair", "Benign", "Audit ns/list"});
-  for (const std::uint32_t flips : {1u, 2u, 3u, 4u, 8u}) {
-    const auto stats = run_trials(flips, trials, 0x0B057 + flips);
+  // Each row's trials share one Rng chain (the deterministic unit), so the
+  // campaign fans out across the flip-count rows.
+  const std::uint32_t flip_counts[] = {1u, 2u, 3u, 4u, 8u};
+  experiments::CampaignOptions campaign_options;
+  campaign_options.label = "robust structures";
+  const auto row_stats = experiments::run_campaign(
+      std::size(flip_counts),
+      [&](std::size_t i) {
+        return run_trials(flip_counts[i], trials, 0x0B057 + flip_counts[i]);
+      },
+      campaign_options);
+  for (std::size_t i = 0; i < std::size(flip_counts); ++i) {
+    const std::uint32_t flips = flip_counts[i];
+    const auto& stats = row_stats[i];
     table.add_row({std::to_string(flips),
                    common::fmt(common::percent(stats.corrected, trials), 1) + "%",
                    common::fmt(common::percent(stats.flagged, trials), 1) + "%",

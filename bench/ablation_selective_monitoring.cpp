@@ -45,22 +45,30 @@ UnruledSplit unruled_split(const std::vector<inject::InjectionRecord>& records) 
 
 int main(int argc, char** argv) {
   const std::size_t runs = bench::flag(argc, argv, "runs", 10);
+  bench::campaign_init(argc, argv);
 
   common::TablePrinter table({"Configuration", "Unruled-field errors",
                               "Caught", "Escaped", "No effect"});
+  experiments::CampaignOptions campaign_options;
+  campaign_options.label = "selective monitoring";
   for (const bool selective : {false, true}) {
+    const auto splits = experiments::run_campaign(
+        runs,
+        [&](std::size_t i) {
+          auto params = bench::table2_params();
+          params.audits_enabled = true;
+          params.audit.engine.selective_monitoring = selective;
+          params.audit.engine.selective_min_records = 8;
+          // Higher error pressure so unruled fields collect enough samples.
+          params.injector.inter_arrival =
+              8 * static_cast<sim::Duration>(sim::kSecond);
+          params.seed = 0x5E1E + i * 977;
+          return unruled_split(
+              experiments::run_audit_experiment(params).injections);
+        },
+        campaign_options);
     UnruledSplit total;
-    for (std::size_t i = 0; i < runs; ++i) {
-      auto params = bench::table2_params();
-      params.audits_enabled = true;
-      params.audit.engine.selective_monitoring = selective;
-      params.audit.engine.selective_min_records = 8;
-      // Higher error pressure so unruled fields collect enough samples.
-      params.injector.inter_arrival =
-          8 * static_cast<sim::Duration>(sim::kSecond);
-      params.seed = 0x5E1E + i * 977;
-      const auto result = experiments::run_audit_experiment(params);
-      const auto split = unruled_split(result.injections);
+    for (const auto& split : splits) {
       total.caught += split.caught;
       total.escaped += split.escaped;
       total.other += split.other;

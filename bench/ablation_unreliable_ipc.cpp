@@ -194,6 +194,8 @@ int main(int argc, char** argv) {
       std::max<std::size_t>(1, bench::flag(argc, argv, "runs", 4));
   const auto kill_every = static_cast<sim::Duration>(
       bench::flag(argc, argv, "killevery", 300) * sim::kSecond);
+  const std::string csv_path = bench::flag_str(argc, argv, "csv");
+  bench::campaign_init(argc, argv);
 
   const double drops[] = {0.0, 0.05, 0.10, 0.20};
   const Deployment deployments[] = {
@@ -208,12 +210,18 @@ int main(int argc, char** argv) {
        "restarts", "spurious", "takeovers", "dead_letters"}};
   for (const double drop : drops) {
     for (const Deployment deployment : deployments) {
+      experiments::CampaignOptions campaign_options;
+      campaign_options.label = "unreliable ipc";
+      const auto cell_results = experiments::run_campaign(
+          runs,
+          [&](std::size_t i) {
+            return run_one(deployment, drop, kill_every, 0x1BC0 + i * 131);
+          },
+          campaign_options);
       std::size_t injected = 0, caught = 0, escaped = 0;
       sim::Time unprotected = 0;
       std::uint64_t restarts = 0, spurious = 0, takeovers = 0, dead = 0;
-      for (std::size_t i = 0; i < runs; ++i) {
-        const auto r =
-            run_one(deployment, drop, kill_every, 0x1BC0 + i * 131);
+      for (const auto& r : cell_results) {
         injected += r.oracle.injected;
         caught += r.oracle.caught;
         escaped += r.oracle.escaped;
@@ -256,6 +264,6 @@ int main(int argc, char** argv) {
               "the loss; without any manager the unprotected window swallows "
               "the rest of the run after the first crash; the duplicated "
               "pair keeps restarts flowing after the active manager dies.\n");
-  bench::write_csv(bench::flag_str(argc, argv, "csv"), csv);
+  bench::write_csv(csv_path, csv);
   return 0;
 }

@@ -1,6 +1,7 @@
 // Shared helpers for the per-table/figure benchmark binaries.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -9,17 +10,59 @@
 
 #include "callproc/native_client.hpp"
 #include "experiments/audit_runner.hpp"
+#include "experiments/campaign.hpp"
 
 namespace wtc::bench {
 
-/// Parses `--name=value` style integer flags (e.g. --runs=30).
+namespace detail {
+
+/// Names every flag() / flag_str() call has registered, so campaign_init
+/// can reject typo'd flags instead of silently ignoring them.
+inline std::vector<std::string>& known_flags() {
+  static std::vector<std::string> names;
+  return names;
+}
+
+inline void remember_flag(const char* name) {
+  for (const auto& existing : known_flags()) {
+    if (existing == name) {
+      return;
+    }
+  }
+  known_flags().push_back(name);
+}
+
+[[noreturn]] inline void usage_error(const char* argv0,
+                                     const std::string& message) {
+  std::fprintf(stderr, "%s: %s\nknown flags:", argv0, message.c_str());
+  for (const auto& name : known_flags()) {
+    std::fprintf(stderr, " --%s=<value>", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+}  // namespace detail
+
+/// Parses `--name=value` style integer flags (e.g. --runs=30). A
+/// malformed value (`--runs=ten`, `--runs=`, `--runs=-1`) is a usage
+/// error, not a silent 0-run campaign.
 inline std::size_t flag(int argc, char** argv, const char* name,
                         std::size_t default_value) {
+  detail::remember_flag(name);
   const std::string prefix = std::string("--") + name + "=";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return static_cast<std::size_t>(std::strtoull(argv[i] + prefix.size(),
-                                                    nullptr, 10));
+      const char* text = argv[i] + prefix.size();
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long value = std::strtoull(text, &end, 10);
+      if (*text == '\0' || *end != '\0' || *text == '-' || errno == ERANGE) {
+        detail::usage_error(argv[0], std::string("invalid value for --") +
+                                         name + ": '" + text +
+                                         "' (expected an unsigned integer)");
+      }
+      return static_cast<std::size_t>(value);
     }
   }
   return default_value;
@@ -59,6 +102,7 @@ inline experiments::AuditRunParams table2_params() {
 /// Parses `--name=value` string flags (e.g. --csv=fig3.csv).
 inline std::string flag_str(int argc, char** argv, const char* name,
                             const char* default_value = "") {
+  detail::remember_flag(name);
   const std::string prefix = std::string("--") + name + "=";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
@@ -66,6 +110,34 @@ inline std::string flag_str(int argc, char** argv, const char* name,
     }
   }
   return default_value;
+}
+
+/// Call once per bench main, AFTER all flag()/flag_str() parsing:
+/// 1. wires the fleet-wide `--jobs=N` flag (default: all hardware
+///    threads; `--jobs=1` = the exact legacy serial path) and
+///    `--progress=0|1` (stderr progress line, default on) into the
+///    campaign runner, and
+/// 2. rejects any argv entry that matches no registered flag — a typo'd
+///    flag name is a usage error, not a silently ignored no-op.
+inline void campaign_init(int argc, char** argv) {
+  const std::size_t jobs = flag(argc, argv, "jobs", 0);
+  const std::size_t progress = flag(argc, argv, "progress", 1);
+  experiments::set_default_campaign_jobs(jobs);
+  experiments::set_campaign_progress(progress != 0);
+  for (int i = 1; i < argc; ++i) {
+    bool matched = false;
+    for (const auto& name : detail::known_flags()) {
+      const std::string prefix = "--" + name + "=";
+      if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      detail::usage_error(argv[0], std::string("unknown argument '") +
+                                       argv[i] + "'");
+    }
+  }
 }
 
 /// Writes rows (first row = header) as CSV for external plotting.

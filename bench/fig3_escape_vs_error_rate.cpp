@@ -16,6 +16,8 @@ using namespace wtc;
 
 int main(int argc, char** argv) {
   const std::size_t runs = bench::flag(argc, argv, "runs", 10);
+  const std::string csv_path = bench::flag_str(argc, argv, "csv");
+  bench::campaign_init(argc, argv);
 
   common::TablePrinter table({"Error inter-arrival (s)", "Injected", "Escaped",
                               "Escaped per run", "Escaped %"});
@@ -45,7 +47,7 @@ int main(int argc, char** argv) {
                                2),
                    common::fmt(common::percent(result.escaped, result.injected), 2)});
   }
-  bench::write_csv(bench::flag_str(argc, argv, "csv"), csv);
+  bench::write_csv(csv_path, csv);
   std::printf("%s\n", table.render().c_str());
   std::printf("Paper: escaped count rises as inter-arrival drops below the audit "
               "period; escaped %% stays roughly constant (8-14%%).\n");

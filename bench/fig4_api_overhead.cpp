@@ -10,6 +10,10 @@
 // shape: DBwrite_rec pays the most (+45%), DBinit the least (+6.5%).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "db/api.hpp"
 #include "db/controller_schema.hpp"
 
@@ -135,4 +139,26 @@ BENCHMARK(BM_DBmove)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Accept the fleet-wide --jobs=N / --progress=N flags (no-ops here:
+// google-benchmark measures real wall-clock time on one thread, so there
+// is nothing to fan out) and strip them before google-benchmark's own
+// argv parsing, which rejects flags it does not know.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0 || arg.rfind("--progress=", 0) == 0) {
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

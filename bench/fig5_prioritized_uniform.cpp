@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   const std::size_t runs = bench::flag(argc, argv, "runs", 5);
   const auto duration = static_cast<sim::Duration>(
       bench::flag(argc, argv, "duration", 600) * sim::kSecond);
+  const std::string csv_path = bench::flag_str(argc, argv, "csv");
+  bench::campaign_init(argc, argv);
 
   common::TablePrinter table({"MTBF (s)", "Escaped % (unprioritized)",
                               "Escaped % (prioritized)", "Reduction",
@@ -57,7 +59,7 @@ int main(int argc, char** argv) {
                    common::fmt(unprio.detection_latency_s, 2),
                    common::fmt(prio.detection_latency_s, 2)});
   }
-  bench::write_csv(bench::flag_str(argc, argv, "csv"), csv);
+  bench::write_csv(csv_path, csv);
   std::printf("%s\n", table.render().c_str());
   std::printf("Paper: escaped-error reduction 14.6-25.5%%; prioritized latency "
               "slightly HIGHER under uniform errors (focusing on hot tables "

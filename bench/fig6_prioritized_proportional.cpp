@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
   const std::size_t runs = bench::flag(argc, argv, "runs", 5);
   const auto duration = static_cast<sim::Duration>(
       bench::flag(argc, argv, "duration", 600) * sim::kSecond);
+  const std::string csv_path = bench::flag_str(argc, argv, "csv");
+  bench::campaign_init(argc, argv);
 
   common::TablePrinter table({"MTBF (s)", "Escaped % (unprioritized)",
                               "Escaped % (prioritized)", "Reduction",
@@ -56,7 +58,7 @@ int main(int argc, char** argv) {
                    common::fmt(unprio.detection_latency_s, 2),
                    common::fmt(prio.detection_latency_s, 2)});
   }
-  bench::write_csv(bench::flag_str(argc, argv, "csv"), csv);
+  bench::write_csv(csv_path, csv);
   std::printf("%s\n", table.render().c_str());
   std::printf("Paper: escapes higher than the uniform model (~25%% of injected); "
               "reduction ~12%%; latency approximately EQUAL (prioritized finds "

@@ -14,6 +14,7 @@ using namespace wtc;
 
 int main(int argc, char** argv) {
   const std::size_t runs = bench::flag(argc, argv, "runs", 50);
+  bench::campaign_init(argc, argv);
   bench::run_and_print_campaign_table(
       "=== Table 8: directed injection to control flow instructions ===",
       inject::InjectTarget::DirectedCFI, runs, 0xD5A12001);

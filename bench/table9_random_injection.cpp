@@ -11,6 +11,7 @@ using namespace wtc;
 
 int main(int argc, char** argv) {
   const std::size_t runs = bench::flag(argc, argv, "runs", 50);
+  bench::campaign_init(argc, argv);
   bench::run_and_print_campaign_table(
       "=== Table 9: random injection to the instruction stream ===",
       inject::InjectTarget::Random, runs, 0xD5A92001);

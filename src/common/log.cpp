@@ -8,6 +8,9 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 
+/// Current thread's sink; null = the stderr default.
+thread_local LogSink* t_sink = nullptr;
+
 constexpr const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::Trace: return "TRACE";
@@ -25,12 +28,30 @@ constexpr const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
+ScopedLogSink::ScopedLogSink(LogSink sink)
+    : sink_(std::move(sink)), previous_(t_sink) {
+  t_sink = &sink_;
+}
+
+ScopedLogSink::~ScopedLogSink() { t_sink = previous_; }
+
 namespace detail {
-void log_write(LogLevel level, std::string_view component, std::string_view message) {
+
+void log_write_stderr(LogLevel level, std::string_view component,
+                      std::string_view message) {
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());
 }
+
+void log_write(LogLevel level, std::string_view component, std::string_view message) {
+  if (t_sink != nullptr && *t_sink) {
+    (*t_sink)(level, component, message);
+    return;
+  }
+  log_write_stderr(level, component, message);
+}
+
 }  // namespace detail
 
 }  // namespace wtc::common

@@ -1,7 +1,14 @@
 // Minimal leveled logger. Experiments run millions of simulated events, so
 // logging defaults to Warn; tests and examples raise it as needed.
+//
+// Thread model: the level is a process-wide atomic; the output sink is
+// routed per thread. By default every thread writes to stderr (one
+// fprintf call per message, so lines never interleave mid-line). A
+// parallel campaign worker installs a ScopedLogSink for the duration of
+// its run so that run's messages stay attributable to its seed index.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string_view>
 
@@ -13,8 +20,32 @@ enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
+/// Receives every message that passes the level threshold on the thread
+/// the sink is installed on.
+using LogSink =
+    std::function<void(LogLevel, std::string_view component,
+                       std::string_view message)>;
+
+/// Installs `sink` as the CURRENT THREAD's log sink for this object's
+/// lifetime, restoring the previous sink (or the stderr default) on
+/// destruction. Nestable.
+class ScopedLogSink {
+ public:
+  explicit ScopedLogSink(LogSink sink);
+  ~ScopedLogSink();
+  ScopedLogSink(const ScopedLogSink&) = delete;
+  ScopedLogSink& operator=(const ScopedLogSink&) = delete;
+
+ private:
+  LogSink sink_;
+  LogSink* previous_;
+};
+
 namespace detail {
 void log_write(LogLevel level, std::string_view component, std::string_view message);
+/// The default sink: one formatted fprintf to stderr.
+void log_write_stderr(LogLevel level, std::string_view component,
+                      std::string_view message);
 }
 
 /// Logs the stream-concatenation of `parts` under `component` if `level`

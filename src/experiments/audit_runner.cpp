@@ -1,5 +1,6 @@
 #include "experiments/audit_runner.hpp"
 
+#include "experiments/campaign.hpp"
 #include "manager/manager.hpp"
 #include "sim/cpu.hpp"
 #include "sim/scheduler.hpp"
@@ -122,10 +123,31 @@ ErrorBreakdown classify_injections(
 }
 
 AggregateAuditResult run_audit_series(AuditRunParams params, std::size_t runs) {
-  AggregateAuditResult aggregate;
+  // Per-run seeds: the same LCG chain the legacy serial loop advanced
+  // in-place, precomputed so runs can execute in parallel.
+  std::vector<std::uint64_t> seeds(runs);
+  std::uint64_t seed = params.seed;
   for (std::size_t i = 0; i < runs; ++i) {
-    params.seed = params.seed * 6364136223846793005ull + 1442695040888963407ull;
-    const AuditRunResult run = run_audit_experiment(params);
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    seeds[i] = seed;
+  }
+
+  CampaignOptions options;
+  options.label = "audit series";
+  const std::vector<AuditRunResult> results = run_campaign(
+      runs,
+      [&](std::size_t i) {
+        AuditRunParams run_params = params;
+        run_params.seed = seeds[i];
+        return run_audit_experiment(run_params);
+      },
+      options);
+
+  // Aggregate in seed order: RunningStats accumulation is order-sensitive
+  // in floating point, so this keeps parallel output bit-identical to the
+  // serial path.
+  AggregateAuditResult aggregate;
+  for (const AuditRunResult& run : results) {
     aggregate.injected += run.oracle.injected;
     aggregate.escaped += run.oracle.escaped;
     aggregate.caught += run.oracle.caught;

@@ -1,0 +1,181 @@
+#include "experiments/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace wtc::experiments {
+namespace {
+
+std::atomic<std::size_t> g_default_jobs{0};
+std::atomic<bool> g_progress{false};
+
+using Clock = std::chrono::steady_clock;
+
+/// Shared per-campaign progress/error state. All mutation happens under
+/// `mutex` so the progress callback and stderr line are serialized and
+/// fire exactly once per completed run.
+struct CampaignState {
+  explicit CampaignState(std::size_t total_runs) : total(total_runs) {}
+
+  const std::size_t total;
+  std::mutex mutex;
+  std::size_t completed = 0;
+  bool failed = false;
+  std::size_t error_index = 0;
+  std::string error_message;
+
+  /// Records the failure with the lowest run index (deterministic across
+  /// worker interleavings once all workers have drained).
+  void record_error(std::size_t index, const std::string& message) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!failed || index < error_index) {
+      failed = true;
+      error_index = index;
+      error_message = message;
+    }
+  }
+};
+
+void report_progress(CampaignState& state, const CampaignOptions& options,
+                     bool stderr_line, Clock::time_point start) {
+  std::lock_guard<std::mutex> lock(state.mutex);
+  ++state.completed;
+  if (options.on_progress) {
+    options.on_progress(state.completed, state.total);
+  }
+  if (stderr_line) {
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const double eta =
+        state.completed > 0
+            ? elapsed *
+                  static_cast<double>(state.total - state.completed) /
+                  static_cast<double>(state.completed)
+            : 0.0;
+    std::fprintf(stderr, "\r%s: run %zu/%zu, elapsed %.1f s, ETA %.1f s ",
+                 options.label.c_str(), state.completed, state.total, elapsed,
+                 eta);
+    if (state.completed == state.total) {
+      std::fputc('\n', stderr);
+    }
+  }
+}
+
+/// Runs one body invocation, capturing any exception into `state`.
+/// Returns false if the run failed (workers then stop pulling work).
+bool run_one(std::size_t index, const std::function<void(std::size_t)>& body,
+             CampaignState& state, const CampaignOptions& options,
+             bool stderr_line, Clock::time_point start) {
+  try {
+    body(index);
+  } catch (const std::exception& e) {
+    state.record_error(index, options.label + ": run " +
+                                  std::to_string(index) +
+                                  " failed: " + e.what());
+    return false;
+  } catch (...) {
+    state.record_error(index, options.label + ": run " +
+                                  std::to_string(index) +
+                                  " failed with a non-standard exception");
+    return false;
+  }
+  report_progress(state, options, stderr_line, start);
+  return true;
+}
+
+}  // namespace
+
+void set_default_campaign_jobs(std::size_t jobs) noexcept {
+  g_default_jobs.store(jobs, std::memory_order_relaxed);
+}
+
+std::size_t default_campaign_jobs() noexcept {
+  return g_default_jobs.load(std::memory_order_relaxed);
+}
+
+void set_campaign_progress(bool enabled) noexcept {
+  g_progress.store(enabled, std::memory_order_relaxed);
+}
+
+bool campaign_progress() noexcept {
+  return g_progress.load(std::memory_order_relaxed);
+}
+
+std::size_t resolve_campaign_jobs(std::size_t requested) noexcept {
+  std::size_t jobs = requested != 0 ? requested : default_campaign_jobs();
+  if (jobs == 0) {
+    jobs = std::thread::hardware_concurrency();
+  }
+  return jobs != 0 ? jobs : 1;
+}
+
+namespace detail {
+
+void run_indexed(std::size_t total,
+                 const std::function<void(std::size_t)>& body,
+                 const CampaignOptions& options) {
+  if (total == 0) {
+    return;
+  }
+  const std::size_t jobs = std::min(resolve_campaign_jobs(options.jobs), total);
+  const bool stderr_line = options.stderr_progress < 0
+                               ? campaign_progress()
+                               : options.stderr_progress != 0;
+  CampaignState state(total);
+  const auto start = Clock::now();
+
+  if (jobs == 1) {
+    // Exact legacy serial path: run inline on the calling thread, in
+    // index order, with the process-default log sink.
+    for (std::size_t i = 0; i < total; ++i) {
+      if (!run_one(i, body, state, options, stderr_line, start)) {
+        break;
+      }
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> stop{false};
+    const auto worker = [&]() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total || stop.load(std::memory_order_relaxed)) {
+          return;
+        }
+        // Route this run's log lines through a per-run sink so parallel
+        // runs' diagnostics stay attributable to their seed index.
+        common::ScopedLogSink sink(
+            [i](common::LogLevel level, std::string_view component,
+                std::string_view message) {
+              const std::string tagged =
+                  "run " + std::to_string(i) + " | " + std::string(component);
+              common::detail::log_write_stderr(level, tagged, message);
+            });
+        if (!run_one(i, body, state, options, stderr_line, start)) {
+          stop.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (std::size_t t = 0; t < jobs; ++t) {
+      threads.emplace_back(worker);
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+  }
+
+  if (state.failed) {
+    throw CampaignError(state.error_index, state.error_message);
+  }
+}
+
+}  // namespace detail
+}  // namespace wtc::experiments

@@ -1,0 +1,122 @@
+// Parallel Monte-Carlo campaign runner.
+//
+// Every table, figure, and ablation in the evaluation is a campaign of
+// *independent* per-seed simulation runs: each run owns its entire world
+// (Scheduler, Node, Database, Cpu, Rng) on its own stack and shares no
+// mutable state with its siblings. This runner fans those runs out across
+// hardware threads and collects the results **in seed order** (run index
+// order, not completion order), so aggregation — including floating-point
+// accumulation, whose result depends on operand order — is bit-identical
+// to the legacy serial loop. `jobs == 1` executes inline on the calling
+// thread, i.e. the exact legacy serial path.
+//
+// See DESIGN.md §9 for the determinism contract.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace wtc::experiments {
+
+/// A run raised an exception; the campaign captured it (instead of letting
+/// it escape a worker thread and `std::terminate` the process) and rethrew
+/// it on the submitting thread with the failing run index in the message.
+class CampaignError : public std::runtime_error {
+ public:
+  CampaignError(std::size_t run_index, const std::string& message)
+      : std::runtime_error(message), run_index_(run_index) {}
+  [[nodiscard]] std::size_t run_index() const noexcept { return run_index_; }
+
+ private:
+  std::size_t run_index_;
+};
+
+struct CampaignOptions {
+  /// Worker threads. 0 = the process-wide default (`--jobs=N` in the
+  /// bench binaries), which itself defaults to hardware_concurrency.
+  std::size_t jobs = 0;
+  /// Prefix for the stderr progress line and error messages.
+  std::string label = "campaign";
+  /// Invoked (serialized, completion order) after each run finishes with
+  /// the number of completed runs so far and the campaign total. Fires
+  /// exactly once per completed run.
+  std::function<void(std::size_t completed, std::size_t total)> on_progress;
+  /// stderr progress line ("label: run 7/30, elapsed 3.2 s, ETA 10.4 s").
+  /// -1 = inherit the process-wide setting, 0 = off, 1 = on.
+  int stderr_progress = -1;
+};
+
+/// Process-wide default worker count used when `CampaignOptions::jobs`
+/// is 0. A value of 0 means hardware_concurrency.
+void set_default_campaign_jobs(std::size_t jobs) noexcept;
+[[nodiscard]] std::size_t default_campaign_jobs() noexcept;
+
+/// Process-wide default for the stderr progress line (off by default so
+/// tests and library users stay quiet; the bench binaries switch it on).
+void set_campaign_progress(bool enabled) noexcept;
+[[nodiscard]] bool campaign_progress() noexcept;
+
+/// Resolves a requested job count: 0 falls back to the process default,
+/// and a default of 0 falls back to hardware_concurrency (min 1).
+[[nodiscard]] std::size_t resolve_campaign_jobs(std::size_t requested) noexcept;
+
+namespace detail {
+/// Runs `body(0) .. body(total-1)` across the resolved number of worker
+/// threads (inline when that is 1). Any exception from `body` stops the
+/// dispatch of further runs and is rethrown as CampaignError for the
+/// lowest failing run index.
+void run_indexed(std::size_t total,
+                 const std::function<void(std::size_t)>& body,
+                 const CampaignOptions& options);
+}  // namespace detail
+
+/// Runs `fn(0) .. fn(runs-1)` and returns the results indexed by run —
+/// seed order, regardless of completion order or worker count.
+template <typename Fn>
+auto run_campaign(std::size_t runs, Fn&& fn, CampaignOptions options = {})
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+  using Result = std::decay_t<decltype(fn(std::size_t{0}))>;
+  std::vector<Result> results(runs);
+  detail::run_indexed(
+      runs, [&](std::size_t i) { results[i] = fn(i); }, options);
+  return results;
+}
+
+/// Submit-then-join sugar over `run_campaign`: derive N parameter sets
+/// from a base seed (e.g. via `Rng::fork`-style per-run seeding), submit
+/// them, and join with results ordered by submission.
+template <typename Params, typename Result>
+class Campaign {
+ public:
+  using Runner = std::function<Result(const Params&)>;
+
+  explicit Campaign(Runner runner, CampaignOptions options = {})
+      : runner_(std::move(runner)), options_(std::move(options)) {}
+
+  /// Queues one run. Order of submission = order of results.
+  void submit(Params params) { params_.push_back(std::move(params)); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return params_.size(); }
+
+  /// Executes all submitted runs and returns their results in submission
+  /// order. The submitted parameter sets are consumed.
+  [[nodiscard]] std::vector<Result> join() {
+    std::vector<Result> results = run_campaign(
+        params_.size(),
+        [this](std::size_t i) { return runner_(params_[i]); }, options_);
+    params_.clear();
+    return results;
+  }
+
+ private:
+  Runner runner_;
+  CampaignOptions options_;
+  std::vector<Params> params_;
+};
+
+}  // namespace wtc::experiments

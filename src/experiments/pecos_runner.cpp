@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "callproc/control.hpp"
+#include "experiments/campaign.hpp"
 #include "callproc/vm_driver.hpp"
 #include "callproc/vm_program.hpp"
 #include "db/controller_schema.hpp"
@@ -140,13 +141,17 @@ double CampaignCounts::coverage_percent() const {
 }
 
 CampaignCounts run_pecos_campaign(PecosRunParams base, std::size_t runs_per_model) {
-  CampaignCounts counts;
+  struct RunSpec {
+    inject::ErrorModel model;
+    std::uint64_t seed;
+  };
   const inject::ErrorModel models[] = {
       inject::ErrorModel::ADDIF, inject::ErrorModel::DATAIF,
       inject::ErrorModel::DATAOF, inject::ErrorModel::DATAInF};
   const std::uint64_t base_seed = base.seed;
+  std::vector<RunSpec> specs;
+  specs.reserve(4 * runs_per_model);
   for (const auto model : models) {
-    base.injector.model = model;
     for (std::size_t i = 0; i < runs_per_model; ++i) {
       // Seeds depend only on (base seed, model, run index) so campaigns
       // with different protection configurations inject the *same* error
@@ -154,9 +159,25 @@ CampaignCounts run_pecos_campaign(PecosRunParams base, std::size_t runs_per_mode
       std::uint64_t seed = base_seed ^ (static_cast<std::uint64_t>(model) << 32) ^
                            (i * 0x9E3779B97F4A7C15ull);
       seed = seed * 6364136223846793005ull + 1442695040888963407ull;
-      base.seed = seed;
-      counts.add(run_pecos_single(base).outcome);
+      specs.push_back({model, seed});
     }
+  }
+
+  CampaignOptions options;
+  options.label = "pecos campaign";
+  const std::vector<inject::Outcome> outcomes = run_campaign(
+      specs.size(),
+      [&](std::size_t i) {
+        PecosRunParams params = base;
+        params.injector.model = specs[i].model;
+        params.seed = specs[i].seed;
+        return run_pecos_single(params).outcome;
+      },
+      options);
+
+  CampaignCounts counts;
+  for (const inject::Outcome outcome : outcomes) {
+    counts.add(outcome);
   }
   return counts;
 }

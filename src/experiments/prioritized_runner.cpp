@@ -1,5 +1,6 @@
 #include "experiments/prioritized_runner.hpp"
 
+#include "experiments/campaign.hpp"
 #include "inject/oracle.hpp"
 #include "sim/cpu.hpp"
 #include "sim/scheduler.hpp"
@@ -64,11 +65,29 @@ PrioritizedRunResult run_prioritized_experiment(const PrioritizedRunParams& para
 
 PrioritizedRunResult run_prioritized_series(PrioritizedRunParams params,
                                             std::size_t runs) {
+  // Per-run seeds: the legacy serial loop's LCG chain, precomputed so the
+  // runs can fan out across workers (results still merge in seed order).
+  std::vector<std::uint64_t> seeds(runs);
+  std::uint64_t seed = params.seed;
+  for (std::size_t i = 0; i < runs; ++i) {
+    seed = seed * 2862933555777941757ull + 3037000493ull;
+    seeds[i] = seed;
+  }
+
+  CampaignOptions options;
+  options.label = "prioritized series";
+  const std::vector<PrioritizedRunResult> results = run_campaign(
+      runs,
+      [&](std::size_t i) {
+        PrioritizedRunParams run_params = params;
+        run_params.seed = seeds[i];
+        return run_prioritized_experiment(run_params);
+      },
+      options);
+
   PrioritizedRunResult total;
   common::RunningStats latency;
-  for (std::size_t i = 0; i < runs; ++i) {
-    params.seed = params.seed * 2862933555777941757ull + 3037000493ull;
-    const auto run = run_prioritized_experiment(params);
+  for (const PrioritizedRunResult& run : results) {
     total.injected += run.injected;
     total.escaped += run.escaped;
     total.caught += run.caught;

@@ -6,23 +6,36 @@ namespace wtc::sim {
 
 EventId Scheduler::schedule_at(Time t, Callback cb) {
   const EventId id = next_id_++;
-  queue_.push(Event{std::max(t, now_), id, std::move(cb)});
-  pending_.insert(id);
+  heap_.push_back(Event{std::max(t, now_), id, std::move(cb), false});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   return id;
 }
 
 bool Scheduler::cancel(EventId id) {
-  // A priority_queue cannot erase from the middle; drop the id from the
-  // pending set and skip the entry when it surfaces in step().
-  return pending_.erase(id) != 0;
+  // Rare path: find the entry and tombstone it in place. Mutating the
+  // non-key fields leaves the heap order intact; step() discards the
+  // tombstone when it reaches the top.
+  for (Event& event : heap_) {
+    if (event.id == id) {
+      if (event.cancelled) {
+        return false;  // double cancel
+      }
+      event.cancelled = true;
+      ++tombstones_;
+      return true;
+    }
+  }
+  return false;  // already fired or never existed
 }
 
 bool Scheduler::step() {
-  while (!queue_.empty()) {
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (pending_.erase(event.id) == 0) {
-      continue;  // cancelled while queued
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event event = std::move(heap_.back());
+    heap_.pop_back();
+    if (event.cancelled) {
+      --tombstones_;
+      continue;
     }
     now_ = event.time;
     ++fired_;
@@ -41,7 +54,7 @@ void Scheduler::run() {
 
 void Scheduler::run_until(Time t) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.top().time <= t) {
+  while (!stopped_ && !heap_.empty() && heap_.front().time <= t) {
     step();
   }
   now_ = std::max(now_, t);

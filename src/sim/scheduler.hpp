@@ -4,12 +4,16 @@
 // elements, the manager's heartbeat, injectors) advances by scheduling
 // callbacks here. Two events at the same instant fire in scheduling order
 // (FIFO tie-break), which keeps runs bit-reproducible across platforms.
+//
+// Cancellation uses in-place tombstones instead of a pending-id hash set:
+// schedule_at/step — the hot path, fired millions of times per run — do
+// no hashing at all; cancel() (rare: the only callers are tests and
+// explicit teardown paths) scans the heap, marks the event cancelled, and
+// step() discards tombstones as they surface.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -35,7 +39,8 @@ class Scheduler {
   }
 
   /// Cancels a pending event. Returns false if it already fired, was
-  /// already cancelled, or never existed.
+  /// already cancelled, or never existed. O(pending) — cancellation is
+  /// rare; the hot path pays nothing for supporting it.
   bool cancel(EventId id);
 
   /// Runs events until the queue drains or `stop()` is called.
@@ -50,8 +55,12 @@ class Scheduler {
   /// Makes the innermost run()/run_until() return after the current event.
   void stop() noexcept { stopped_ = true; }
 
-  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
-  [[nodiscard]] std::size_t pending_events() const noexcept { return pending_.size(); }
+  [[nodiscard]] bool empty() const noexcept {
+    return heap_.size() == tombstones_;
+  }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return heap_.size() - tombstones_;
+  }
   [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
 
  private:
@@ -59,6 +68,7 @@ class Scheduler {
     Time time;
     EventId id;  // doubles as the FIFO tie-break
     Callback cb;
+    bool cancelled = false;  // tombstone: discarded when it surfaces
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -66,8 +76,11 @@ class Scheduler {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> pending_;  // ids scheduled but not fired/cancelled
+  // Binary heap over `heap_` (std::push_heap/pop_heap) rather than a
+  // std::priority_queue: cancel() needs to scan and mark entries in
+  // place, which priority_queue's interface forbids.
+  std::vector<Event> heap_;
+  std::size_t tombstones_ = 0;  // cancelled entries still inside heap_
   Time now_ = 0;
   EventId next_id_ = 1;
   std::uint64_t fired_ = 0;

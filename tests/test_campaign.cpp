@@ -1,0 +1,154 @@
+// Tests for the parallel Monte-Carlo campaign runner (DESIGN.md §9):
+// determinism across repeats and across worker counts, exception capture,
+// and the per-run progress contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "experiments/campaign.hpp"
+#include "experiments/prioritized_runner.hpp"
+
+namespace wtc::experiments {
+namespace {
+
+PrioritizedRunParams small_params() {
+  PrioritizedRunParams params;
+  params.duration = 60 * static_cast<sim::Duration>(sim::kSecond);
+  params.error_mtbf = 2 * static_cast<sim::Duration>(sim::kSecond);
+  params.seed = 0x7E57;
+  return params;
+}
+
+bool same_result(const PrioritizedRunResult& a, const PrioritizedRunResult& b) {
+  return a.injected == b.injected && a.escaped == b.escaped &&
+         a.caught == b.caught && a.escaped_percent == b.escaped_percent &&
+         a.detection_latency_s == b.detection_latency_s;
+}
+
+TEST(Campaign, SameSeedTwiceGivesIdenticalResults) {
+  set_default_campaign_jobs(4);
+  const auto first = run_prioritized_series(small_params(), 4);
+  const auto second = run_prioritized_series(small_params(), 4);
+  set_default_campaign_jobs(0);
+  EXPECT_TRUE(same_result(first, second));
+}
+
+TEST(Campaign, SerialAndParallelAggregatesAreIdentical) {
+  set_default_campaign_jobs(1);
+  const auto serial = run_prioritized_series(small_params(), 6);
+  set_default_campaign_jobs(8);
+  const auto parallel = run_prioritized_series(small_params(), 6);
+  set_default_campaign_jobs(0);
+  // Seed-ordered aggregation: every field, including the order-sensitive
+  // floating-point means, must match bit for bit.
+  EXPECT_TRUE(same_result(serial, parallel));
+  EXPECT_GT(serial.injected, 0u);
+}
+
+TEST(Campaign, ResultsAreIndexedByRunNotCompletionOrder) {
+  CampaignOptions options;
+  options.jobs = 8;
+  const auto results = run_campaign(
+      32, [](std::size_t i) { return i * i; }, options);
+  ASSERT_EQ(results.size(), 32u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(Campaign, WorkerExceptionIsCapturedAndReported) {
+  CampaignOptions options;
+  options.jobs = 4;
+  options.label = "boom";
+  try {
+    run_campaign(
+        16,
+        [](std::size_t i) -> int {
+          if (i == 5) {
+            throw std::runtime_error("synthetic failure");
+          }
+          return 0;
+        },
+        options);
+    FAIL() << "expected CampaignError";
+  } catch (const CampaignError& e) {
+    EXPECT_EQ(e.run_index(), 5u);
+    EXPECT_NE(std::string(e.what()).find("run 5"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("synthetic failure"),
+              std::string::npos);
+  }
+}
+
+TEST(Campaign, SerialPathAlsoWrapsExceptions) {
+  CampaignOptions options;
+  options.jobs = 1;
+  EXPECT_THROW(run_campaign(
+                   4,
+                   [](std::size_t i) -> int {
+                     if (i == 2) {
+                       throw std::runtime_error("serial failure");
+                     }
+                     return 0;
+                   },
+                   options),
+               CampaignError);
+}
+
+TEST(Campaign, ProgressCallbackFiresOncePerCompletedRun) {
+  constexpr std::size_t kRuns = 24;
+  CampaignOptions options;
+  options.jobs = 6;
+  std::vector<std::size_t> completions;
+  options.on_progress = [&](std::size_t completed, std::size_t total) {
+    EXPECT_EQ(total, kRuns);
+    completions.push_back(completed);
+  };
+  (void)run_campaign(kRuns, [](std::size_t i) { return i; }, options);
+  ASSERT_EQ(completions.size(), kRuns);
+  // The callback is serialized under the campaign lock, so the completed
+  // counts it observes are exactly 1..N in order.
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    EXPECT_EQ(completions[i], i + 1);
+  }
+}
+
+TEST(Campaign, SubmitJoinReturnsResultsInSubmissionOrder) {
+  CampaignOptions options;
+  options.jobs = 4;
+  Campaign<int, int> campaign([](const int& p) { return p * 3; }, options);
+  for (int p = 0; p < 10; ++p) {
+    campaign.submit(p);
+  }
+  EXPECT_EQ(campaign.size(), 10u);
+  const auto results = campaign.join();
+  ASSERT_EQ(results.size(), 10u);
+  for (int p = 0; p < 10; ++p) {
+    EXPECT_EQ(results[static_cast<std::size_t>(p)], p * 3);
+  }
+  EXPECT_EQ(campaign.size(), 0u);
+}
+
+TEST(Campaign, ZeroRunsIsANoOp) {
+  std::atomic<int> calls{0};
+  const auto results = run_campaign(0, [&](std::size_t) {
+    ++calls;
+    return 1;
+  });
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Campaign, ResolveJobsFallsBackToHardwareConcurrency) {
+  set_default_campaign_jobs(0);
+  EXPECT_GE(resolve_campaign_jobs(0), 1u);
+  EXPECT_EQ(resolve_campaign_jobs(3), 3u);
+  set_default_campaign_jobs(2);
+  EXPECT_EQ(resolve_campaign_jobs(0), 2u);
+  set_default_campaign_jobs(0);
+}
+
+}  // namespace
+}  // namespace wtc::experiments
