@@ -11,6 +11,7 @@
 #include "callproc/native_client.hpp"
 #include "experiments/audit_runner.hpp"
 #include "experiments/campaign.hpp"
+#include "obs/capture.hpp"
 
 namespace wtc::bench {
 
@@ -116,14 +117,24 @@ inline std::string flag_str(int argc, char** argv, const char* name,
 /// 1. wires the fleet-wide `--jobs=N` flag (default: all hardware
 ///    threads; `--jobs=1` = the exact legacy serial path) and
 ///    `--progress=0|1` (stderr progress line, default on) into the
-///    campaign runner, and
-/// 2. rejects any argv entry that matches no registered flag — a typo'd
+///    campaign runner,
+/// 2. wires `--metrics=<file>` (aggregated counters/histograms, .json or
+///    .csv by extension) and `--trace=<file>` (Chrome trace-event JSON,
+///    load in chrome://tracing) into the observability capture — when
+///    neither is given no capture is installed and the instrumentation
+///    stays inert (stdout is byte-identical), and
+/// 3. rejects any argv entry that matches no registered flag — a typo'd
 ///    flag name is a usage error, not a silently ignored no-op.
 inline void campaign_init(int argc, char** argv) {
   const std::size_t jobs = flag(argc, argv, "jobs", 0);
   const std::size_t progress = flag(argc, argv, "progress", 1);
+  const std::string metrics = flag_str(argc, argv, "metrics", "");
+  const std::string trace = flag_str(argc, argv, "trace", "");
   experiments::set_default_campaign_jobs(jobs);
   experiments::set_campaign_progress(progress != 0);
+  if (!metrics.empty() || !trace.empty()) {
+    obs::install_global_capture(metrics, trace);
+  }
   for (int i = 1; i < argc; ++i) {
     bool matched = false;
     for (const auto& name : detail::known_flags()) {

@@ -5,10 +5,22 @@
 
 #include "common/crc32.hpp"
 #include "db/direct.hpp"
+#include "obs/metrics.hpp"
 
 namespace wtc::audit {
 
 namespace {
+
+/// Books one check invocation in the observability layer. Every public
+/// check entry point (and every scan dispatched by incremental_pass)
+/// funnels its result through here, so `audit.checks` counts check
+/// invocations uniformly no matter which element drove them.
+CheckResult tally(CheckResult result) {
+  obs::count(obs::Counter::audit_checks);
+  obs::observe(obs::Histogram::audit_check_cost_us,
+               static_cast<std::uint64_t>(result.cost));
+  return result;
+}
 
 std::string_view technique_name(Technique technique) noexcept {
   switch (technique) {
@@ -101,6 +113,9 @@ AuditEngine::AuditEngine(db::Database& db, EngineConfig config,
 void AuditEngine::report(Finding finding) {
   finding.time = clock_();
   ++findings_;
+  obs::count(obs::Counter::audit_findings);
+  obs::trace_instant("audit.finding", "audit",
+                     static_cast<std::uint64_t>(finding.time));
   if (finding.table != db::kNoTable &&
       finding.table < db_.table_count()) {
     auto& stats = db_.table_stats(finding.table);
@@ -126,8 +141,10 @@ void AuditEngine::hold_watermark(std::uint64_t gen, std::uint64_t& new_mark) {
   }
 }
 
-CheckResult AuditEngine::check_static() { return static_scan(true); }
-CheckResult AuditEngine::check_static_incremental() { return static_scan(false); }
+CheckResult AuditEngine::check_static() { return tally(static_scan(true)); }
+CheckResult AuditEngine::check_static_incremental() {
+  return tally(static_scan(false));
+}
 
 CheckResult AuditEngine::static_scan(bool exhaustive) {
   CheckResult result;
@@ -194,10 +211,10 @@ CheckResult AuditEngine::check_one_header(db::TableId t, db::RecordIndex r,
 }
 
 CheckResult AuditEngine::check_structure(db::TableId t) {
-  return structure_scan(t, true);
+  return tally(structure_scan(t, true));
 }
 CheckResult AuditEngine::check_structure_incremental(db::TableId t) {
-  return structure_scan(t, false);
+  return tally(structure_scan(t, false));
 }
 
 CheckResult AuditEngine::structure_scan(db::TableId t, bool exhaustive) {
@@ -291,10 +308,10 @@ CheckResult AuditEngine::structure_scan(db::TableId t, bool exhaustive) {
 }
 
 CheckResult AuditEngine::check_ranges(db::TableId t) {
-  return ranges_scan(t, true);
+  return tally(ranges_scan(t, true));
 }
 CheckResult AuditEngine::check_ranges_incremental(db::TableId t) {
-  return ranges_scan(t, false);
+  return tally(ranges_scan(t, false));
 }
 
 CheckResult AuditEngine::ranges_scan(db::TableId t, bool exhaustive) {
@@ -477,9 +494,11 @@ void AuditEngine::free_and_terminate(db::TableId t, db::RecordIndex r,
   }
 }
 
-CheckResult AuditEngine::check_semantics() { return semantics_scan(true); }
+CheckResult AuditEngine::check_semantics() {
+  return tally(semantics_scan(true));
+}
 CheckResult AuditEngine::check_semantics_incremental() {
-  return semantics_scan(false);
+  return tally(semantics_scan(false));
 }
 
 CheckResult AuditEngine::semantics_scan(bool exhaustive) {
@@ -666,10 +685,10 @@ CheckResult AuditEngine::semantics_scan(bool exhaustive) {
 }
 
 CheckResult AuditEngine::check_selective(db::TableId t) {
-  return selective_scan(t, true);
+  return tally(selective_scan(t, true));
 }
 CheckResult AuditEngine::check_selective_incremental(db::TableId t) {
-  return selective_scan(t, false);
+  return tally(selective_scan(t, false));
 }
 
 CheckResult AuditEngine::selective_scan(db::TableId t, bool exhaustive) {
@@ -829,10 +848,11 @@ CheckResult AuditEngine::check_record(db::TableId t, db::RecordIndex r) {
       report(finding);
     }
   }
-  return result;
+  return tally(result);
 }
 
 CheckResult AuditEngine::full_pass(const std::vector<db::TableId>& order) {
+  const auto start = static_cast<std::uint64_t>(clock_());
   CheckResult result;
   result += check_static();
   for (const db::TableId t : order) {
@@ -843,30 +863,43 @@ CheckResult AuditEngine::full_pass(const std::vector<db::TableId>& order) {
     }
   }
   result += check_semantics();
+  obs::count(obs::Counter::audit_passes);
+  obs::observe(obs::Histogram::audit_pass_cost_us,
+               static_cast<std::uint64_t>(result.cost));
+  obs::trace_span("audit.full_pass", "audit", start,
+                  static_cast<std::uint64_t>(result.cost));
   return result;
 }
 
 CheckResult AuditEngine::incremental_pass(const std::vector<db::TableId>& order) {
+  const auto start = static_cast<std::uint64_t>(clock_());
   ++cycle_index_;
+  obs::count(obs::Counter::audit_incremental_cycles);
   const bool sweep = config_.full_sweep_interval != 0 &&
                      cycle_index_ % config_.full_sweep_interval == 0;
   if (sweep) {
     ++full_sweeps_;
+    obs::count(obs::Counter::audit_full_sweeps);
   }
   // A sweep cycle runs the scans exhaustively — same checks and costs as
   // the baseline pass — which both catches corruption the dirty tracking
   // never saw (raw-memory writes bypassing the store) and advances every
   // watermark, clearing the accumulated dirty state.
   CheckResult result;
-  result += static_scan(sweep);
+  result += tally(static_scan(sweep));
   for (const db::TableId t : order) {
-    result += structure_scan(t, sweep);
-    result += ranges_scan(t, sweep);
+    result += tally(structure_scan(t, sweep));
+    result += tally(ranges_scan(t, sweep));
     if (config_.selective_monitoring) {
-      result += selective_scan(t, sweep);
+      result += tally(selective_scan(t, sweep));
     }
   }
-  result += semantics_scan(sweep);
+  result += tally(semantics_scan(sweep));
+  obs::count(obs::Counter::audit_passes);
+  obs::observe(obs::Histogram::audit_pass_cost_us,
+               static_cast<std::uint64_t>(result.cost));
+  obs::trace_span("audit.incremental_pass", "audit", start,
+                  static_cast<std::uint64_t>(result.cost));
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace wtc::audit {
 
 EscalationPolicy::EscalationPolicy(db::Database& db, EscalationConfig config)
@@ -46,6 +48,9 @@ Recovery EscalationPolicy::on_finding(const Finding& finding, sim::Time now,
   state.recent.clear();
   state.last_escalation = now;
   ++table_reloads_;
+  obs::count(obs::Counter::audit_table_reload_escalations);
+  obs::trace_instant("audit.table_reload", "audit",
+                     static_cast<std::uint64_t>(now));
 
   Finding escalation;
   escalation.technique = finding.technique;
@@ -79,6 +84,9 @@ Recovery EscalationPolicy::on_finding(const Finding& finding, sim::Time now,
     recent_table_escalations_.clear();
     last_full_reload_ = now;
     ++full_reloads_;
+    obs::count(obs::Counter::audit_full_reload_escalations);
+    obs::trace_instant("audit.full_reload", "audit",
+                       static_cast<std::uint64_t>(now));
 
     Finding full;
     full.technique = finding.technique;

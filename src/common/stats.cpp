@@ -10,11 +10,20 @@ ConfidenceInterval binomial_ci95(std::size_t successes, std::size_t trials) noex
   if (trials == 0) {
     return {0.0, 0.0};
   }
+  // Wilson score interval. The Wald interval (p ± z·sqrt(p(1-p)/n))
+  // collapses to zero width at p = 0 or p = 1, which misreports the
+  // all-detected / none-detected rows of Tables 8-10 as exact; Wilson
+  // stays well-behaved at the boundaries and inside (0,1) differs from
+  // Wald by less than a percentage point at the paper's sample sizes.
   const double n = static_cast<double>(trials);
   const double p = static_cast<double>(successes) / n;
   constexpr double z = 1.959963984540054;  // Phi^-1(0.975)
-  const double half = z * std::sqrt(p * (1.0 - p) / n);
-  return {std::max(0.0, (p - half) * 100.0), std::min(100.0, (p + half) * 100.0)};
+  const double z2_n = z * z / n;
+  const double center = (p + z2_n / 2.0) / (1.0 + z2_n);
+  const double half = (z / (1.0 + z2_n)) *
+                      std::sqrt(p * (1.0 - p) / n + z2_n / (4.0 * n));
+  return {std::max(0.0, (center - half) * 100.0),
+          std::min(100.0, (center + half) * 100.0)};
 }
 
 double percent(std::size_t successes, std::size_t trials) noexcept {

@@ -16,8 +16,10 @@ struct ConfidenceInterval {
   double hi = 0.0;
 };
 
-/// 95% confidence interval for a binomial proportion, normal approximation
-/// (as the paper uses), clamped to [0, 100]. `successes <= trials`.
+/// 95% confidence interval for a binomial proportion (Wilson score
+/// interval), clamped to [0, 100]. `successes <= trials`. Wilson rather
+/// than the Wald normal approximation: Wald degenerates to a zero-width
+/// interval at 0/N and N/N, which the injection tables hit routinely.
 [[nodiscard]] ConfidenceInterval binomial_ci95(std::size_t successes,
                                                std::size_t trials) noexcept;
 

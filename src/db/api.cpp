@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "db/direct.hpp"
+#include "obs/metrics.hpp"
 
 namespace wtc::db {
 
@@ -160,6 +161,8 @@ void DbApi::notify_update(ApiOp op, TableId t, RecordIndex r,
 }
 
 void DbApi::touch_meta(TableId t, RecordIndex r, bool is_write) {
+  wtc::obs::count(is_write ? wtc::obs::Counter::db_writes
+                           : wtc::obs::Counter::db_reads);
   if (sink_ == nullptr || t >= db_.table_count()) {
     return;  // metadata upkeep is part of the instrumented form only
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace wtc::db {
 
 Database::Database(Schema schema, const PopulateFn& populate)
@@ -53,9 +55,11 @@ void Database::mark_written(std::size_t offset, std::size_t len) noexcept {
     return;
   }
   const std::uint64_t gen = ++write_gen_;
+  obs::gauge_max(obs::Gauge::db_write_generation, gen);
   for (std::size_t c = offset / kDirtyChunkBytes; c <= (end - 1) / kDirtyChunkBytes;
        ++c) {
     chunk_gen_[c] = gen;
+    obs::count(obs::Counter::db_dirty_chunk_stamps);
   }
   for (std::size_t t = 0; t < layout_.tables().size(); ++t) {
     const auto range = layout_.records_overlapping(static_cast<TableId>(t),
@@ -86,6 +90,7 @@ void Database::mark_written(std::size_t offset, std::size_t len) noexcept {
 }
 
 void Database::note_scrub(std::size_t offset, std::size_t len) noexcept {
+  obs::count(obs::Counter::db_scrubs);
   note_write(offset, len);
   const std::size_t end = std::min(offset + len, region_.size());
   if (offset >= end) {
@@ -129,6 +134,7 @@ bool Database::span_written_since(std::size_t offset, std::size_t len,
 }
 
 void Database::reload_all_from_disk() noexcept {
+  obs::count(obs::Counter::db_reloads);
   std::memcpy(region_.data(), pristine_.data(), region_.size());
   note_write(0, region_.size());
 }
@@ -138,6 +144,7 @@ void Database::reload_span_from_disk(std::size_t offset, std::size_t len) noexce
   if (offset >= end) {
     return;
   }
+  obs::count(obs::Counter::db_reloads);
   std::memcpy(region_.data() + offset, pristine_.data() + offset, end - offset);
   note_write(offset, end - offset);
 }
@@ -178,9 +185,14 @@ bool Database::try_lock(TableId t, sim::ProcessId pid, sim::Time now) noexcept {
   auto& slot = locks_[t];
   if (!slot) {
     slot = LockInfo{pid, now};
+    obs::count(obs::Counter::db_lock_acquires);
     return true;
   }
-  return slot->owner == pid;
+  if (slot->owner != pid) {
+    obs::count(obs::Counter::db_lock_conflicts);
+    return false;
+  }
+  return true;
 }
 
 bool Database::unlock(TableId t, sim::ProcessId pid) noexcept {

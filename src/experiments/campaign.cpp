@@ -8,6 +8,8 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "obs/capture.hpp"
+#include "obs/metrics.hpp"
 
 namespace wtc::experiments {
 namespace {
@@ -130,11 +132,27 @@ void run_indexed(std::size_t total,
   CampaignState state(total);
   const auto start = Clock::now();
 
+  // With a Capture installed, each run records into its own thread-local
+  // Recorder; results are absorbed in run-index order after the join, so
+  // the merged snapshot (and trace) is identical for any worker count.
+  obs::Capture* capture = obs::active_capture();
+  std::vector<obs::RunData> obs_runs(capture != nullptr ? total : 0);
+  const std::function<void(std::size_t)> instrumented = [&](std::size_t i) {
+    if (capture == nullptr) {
+      body(i);
+      return;
+    }
+    obs::Recorder recorder(capture->tracing());
+    obs::ScopedRecorder scope(recorder);
+    body(i);
+    obs_runs[i] = obs::RunData{recorder.snapshot(), recorder.events()};
+  };
+
   if (jobs == 1) {
     // Exact legacy serial path: run inline on the calling thread, in
     // index order, with the process-default log sink.
     for (std::size_t i = 0; i < total; ++i) {
-      if (!run_one(i, body, state, options, stderr_line, start)) {
+      if (!run_one(i, instrumented, state, options, stderr_line, start)) {
         break;
       }
     }
@@ -156,7 +174,7 @@ void run_indexed(std::size_t total,
                   "run " + std::to_string(i) + " | " + std::string(component);
               common::detail::log_write_stderr(level, tagged, message);
             });
-        if (!run_one(i, body, state, options, stderr_line, start)) {
+        if (!run_one(i, instrumented, state, options, stderr_line, start)) {
           stop.store(true, std::memory_order_relaxed);
           return;
         }
@@ -174,6 +192,9 @@ void run_indexed(std::size_t total,
 
   if (state.failed) {
     throw CampaignError(state.error_index, state.error_message);
+  }
+  if (capture != nullptr) {
+    capture->absorb_campaign(std::move(obs_runs));
   }
 }
 

@@ -10,7 +10,11 @@
 // to the legacy serial loop. `jobs == 1` executes inline on the calling
 // thread, i.e. the exact legacy serial path.
 //
-// See DESIGN.md §9 for the determinism contract.
+// When an observability Capture is installed (obs/capture.hpp), each run
+// records metrics/trace events into its own thread-local Recorder and the
+// runner absorbs them in run-index order after the join — so the merged
+// snapshot is identical for any `jobs` value. See DESIGN.md §9 for the
+// determinism contract and §10 for the observability layer.
 #pragma once
 
 #include <cstddef>

@@ -4,6 +4,7 @@
 
 #include "audit/messages.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace wtc::manager {
 
@@ -48,6 +49,7 @@ void Manager::heartbeat_tick(std::uint64_t gen) {
   }
   ++seq_;
   ++sent_;
+  obs::count(obs::Counter::manager_heartbeats_sent);
   sim::Message query;
   query.from = pid();
   query.type = audit::msg::kHeartbeat;
@@ -75,6 +77,9 @@ void Manager::check_reply(std::uint64_t seq) {
   common::log(common::LogLevel::Info, "manager",
               "audit process missed heartbeat ", seq, "; restarting");
   ++restarts_;
+  obs::count(obs::Counter::manager_restarts);
+  obs::trace_instant("manager.restart", "manager",
+                     static_cast<std::uint64_t>(now()));
   if (node().alive(audit_pid_)) {
     ++restarts_live_;
   }
@@ -105,6 +110,9 @@ void Manager::watch_peer(std::uint64_t gen) {
     // the audit where it left off (last advertised pid + epoch).
     ++takeovers_;
     ++term_;
+    obs::count(obs::Counter::manager_takeovers);
+    obs::trace_instant("manager.takeover", "manager",
+                       static_cast<std::uint64_t>(now()));
     common::log(common::LogLevel::Info, "manager",
                 "standby taking over as active (term ", term_, ")");
     become_active();
@@ -121,6 +129,7 @@ void Manager::handle_reply(const sim::Message& message) {
     return;
   }
   last_acked_ = std::max(last_acked_, message.args[0]);
+  obs::count(obs::Counter::manager_heartbeat_replies);
 }
 
 void Manager::handle_peer_heartbeat(const sim::Message& message) {
@@ -132,6 +141,7 @@ void Manager::handle_peer_heartbeat(const sim::Message& message) {
     if (peer_term > term_) {
       // The peer took over while we were partitioned away; its term wins.
       ++demotions_;
+      obs::count(obs::Counter::manager_demotions);
       common::log(common::LogLevel::Info, "manager",
                   "demoting to standby (peer term ", peer_term, " > ", term_,
                   ")");

@@ -1,0 +1,115 @@
+#include "obs/capture.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace wtc::obs {
+namespace {
+
+Capture* g_active_capture = nullptr;
+
+bool write_string(const std::string& path, const std::string& contents) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok =
+      std::fwrite(contents.data(), 1, contents.size(), file) == contents.size();
+  std::fclose(file);
+  if (!ok) {
+    std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+  }
+  return ok;
+}
+
+bool ends_with(const std::string& text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// install_global_capture state: one process-lifetime capture plus the
+// paths the atexit hook flushes to.
+std::unique_ptr<Capture> g_global_capture;
+std::string g_metrics_path;
+std::string g_trace_path;
+
+void write_global_capture() {
+  if (g_global_capture == nullptr) {
+    return;
+  }
+  if (!g_metrics_path.empty() && g_global_capture->write_metrics(g_metrics_path)) {
+    std::fprintf(stderr, "(metrics written to %s)\n", g_metrics_path.c_str());
+  }
+  if (!g_trace_path.empty() && g_global_capture->write_trace(g_trace_path)) {
+    std::fprintf(stderr, "(trace written to %s)\n", g_trace_path.c_str());
+  }
+}
+
+}  // namespace
+
+Capture::Capture(CaptureOptions options)
+    : options_(options), previous_(g_active_capture) {
+  g_active_capture = this;
+}
+
+Capture::~Capture() { g_active_capture = previous_; }
+
+void Capture::absorb_campaign(std::vector<RunData> runs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (RunData& run : runs) {  // seed order: runs[i] is seed index i
+    const std::uint64_t pid = runs_absorbed_++;
+    merged_.merge(run.metrics);
+    for (const TraceEvent& event : run.events) {
+      trace_.push_back(TraceRecord{event, pid});
+    }
+  }
+}
+
+void Capture::absorb_run(RunData run) {
+  std::vector<RunData> runs;
+  runs.push_back(std::move(run));
+  absorb_campaign(std::move(runs));
+}
+
+MetricsSnapshot Capture::merged() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return merged_;
+}
+
+std::vector<TraceRecord> Capture::trace() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trace_;
+}
+
+std::string Capture::metrics_json() const { return merged().to_json(); }
+
+std::string Capture::metrics_csv() const { return merged().to_csv(); }
+
+std::string Capture::trace_json() const { return trace_to_json(trace()); }
+
+bool Capture::write_metrics(const std::string& path) const {
+  return write_string(path,
+                      ends_with(path, ".csv") ? metrics_csv() : metrics_json());
+}
+
+bool Capture::write_trace(const std::string& path) const {
+  return write_string(path, trace_json());
+}
+
+Capture* active_capture() noexcept { return g_active_capture; }
+
+void install_global_capture(std::string metrics_path, std::string trace_path) {
+  if ((metrics_path.empty() && trace_path.empty()) ||
+      g_global_capture != nullptr) {
+    return;
+  }
+  g_metrics_path = std::move(metrics_path);
+  g_trace_path = std::move(trace_path);
+  g_global_capture =
+      std::make_unique<Capture>(CaptureOptions{.tracing = !g_trace_path.empty()});
+  std::atexit(write_global_capture);
+}
+
+}  // namespace wtc::obs

@@ -1,0 +1,88 @@
+// Campaign-level aggregation of per-run observability data.
+//
+// A `Capture` is the process-wide collection point for one measurement
+// session (normally one bench invocation). While a capture is active the
+// campaign runner (experiments/campaign.cpp) installs a fresh Recorder
+// around every run body and, after the campaign joins, hands the per-run
+// results back **in seed order** — so the merged MetricsSnapshot and the
+// concatenated trace are identical for any `--jobs=N`, the same
+// determinism contract the campaign's own result aggregation honors
+// (DESIGN.md §9).
+//
+// When no capture is active (the default) nothing anywhere allocates,
+// records, or writes: bench stdout/CSV stay byte-identical to an
+// uninstrumented build.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace wtc::obs {
+
+/// One run's worth of observability data, extracted from its Recorder.
+struct RunData {
+  MetricsSnapshot metrics;
+  std::vector<TraceEvent> events;
+};
+
+struct CaptureOptions {
+  /// Buffer trace events (costs memory proportional to event count).
+  bool tracing = false;
+};
+
+class Capture {
+ public:
+  /// Installs this capture as the process-wide active one for its
+  /// lifetime (stack discipline: restores the previous on destruction).
+  explicit Capture(CaptureOptions options = {});
+  ~Capture();
+  Capture(const Capture&) = delete;
+  Capture& operator=(const Capture&) = delete;
+
+  [[nodiscard]] bool tracing() const noexcept { return options_.tracing; }
+
+  /// Merges one campaign's per-run results, indexed by seed/run order.
+  /// Sequential campaigns within a bench accumulate in call order (benches
+  /// run campaigns from the main thread, one after another). Thread-safe.
+  void absorb_campaign(std::vector<RunData> runs);
+
+  /// Merges a single out-of-campaign run (tests, ad-hoc harnesses).
+  void absorb_run(RunData run);
+
+  [[nodiscard]] MetricsSnapshot merged() const;
+  [[nodiscard]] std::vector<TraceRecord> trace() const;
+  [[nodiscard]] std::string metrics_json() const;
+  [[nodiscard]] std::string metrics_csv() const;
+  [[nodiscard]] std::string trace_json() const;
+
+  /// Writes metrics to `path` — CSV when the path ends in ".csv", JSON
+  /// otherwise. Returns false (with a stderr warning) on I/O failure.
+  bool write_metrics(const std::string& path) const;
+  /// Writes the Chrome trace-event JSON document to `path`.
+  bool write_trace(const std::string& path) const;
+
+ private:
+  CaptureOptions options_;
+  Capture* previous_;
+  mutable std::mutex mutex_;
+  MetricsSnapshot merged_;
+  std::vector<TraceRecord> trace_;
+  std::uint64_t runs_absorbed_ = 0;
+};
+
+/// The active capture, or null. Read by the campaign runner at dispatch.
+[[nodiscard]] Capture* active_capture() noexcept;
+
+/// Bench-binary convenience: creates a process-lifetime capture wired to
+/// `--metrics=` / `--trace=` paths (either may be empty) and registers an
+/// atexit hook that writes the files. Idempotent per process; a no-op when
+/// both paths are empty.
+void install_global_capture(std::string metrics_path, std::string trace_path);
+
+}  // namespace wtc::obs

@@ -1,0 +1,49 @@
+#include "obs/trace.hpp"
+
+namespace wtc::obs {
+namespace {
+
+/// Trace names/categories are string literals chosen in this repo, so a
+/// full JSON escaper would be dead code; guard against the two characters
+/// that could break the document if one ever slipped in.
+void append_escaped(std::string& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\') {
+      out += '\\';
+    }
+    out += *p;
+  }
+}
+
+}  // namespace
+
+std::string trace_to_json(const std::vector<TraceRecord>& records) {
+  std::string out;
+  out.reserve(64 + records.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const TraceRecord& record = records[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "{\"name\":\"";
+    append_escaped(out, record.event.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, record.event.category);
+    out += "\",\"ph\":\"";
+    out += record.event.phase == TracePhase::Complete ? 'X' : 'i';
+    out += "\",\"ts\":";
+    out += std::to_string(record.event.ts);
+    if (record.event.phase == TracePhase::Complete) {
+      out += ",\"dur\":";
+      out += std::to_string(record.event.dur);
+    } else {
+      out += ",\"s\":\"g\"";
+    }
+    out += ",\"pid\":";
+    out += std::to_string(record.pid);
+    out += ",\"tid\":0}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace wtc::obs

@@ -1,0 +1,47 @@
+// Sim-time trace events, exported in the Chrome trace-event JSON format
+// (load the emitted file in chrome://tracing or https://ui.perfetto.dev).
+//
+// Simulation time is already microseconds (sim/time.hpp), which is
+// exactly the unit the trace-event `ts`/`dur` fields use, so events map
+// 1:1 with no conversion. The campaign aggregator tags each run's events
+// with `pid` = the run's seed index, so a parallel campaign renders as
+// one process lane per run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wtc::obs {
+
+enum class TracePhase : std::uint8_t {
+  Complete,  ///< "ph":"X" — a span with ts + dur
+  Instant,   ///< "ph":"i" — a point event
+};
+
+/// One trace event. `name`/`category` are required to be string literals
+/// (or otherwise outlive the capture); events are hot enough that owning
+/// strings would dominate the cost of recording them.
+struct TraceEvent {
+  const char* name;
+  const char* category;
+  std::uint64_t ts;   ///< sim time, µs
+  std::uint64_t dur;  ///< span length, µs (Complete only)
+  TracePhase phase;
+
+  [[nodiscard]] bool operator==(const TraceEvent&) const noexcept = default;
+};
+
+/// A trace event attributed to a campaign run (pid = seed index).
+struct TraceRecord {
+  TraceEvent event;
+  std::uint64_t pid = 0;
+
+  [[nodiscard]] bool operator==(const TraceRecord&) const noexcept = default;
+};
+
+/// Renders `records` as a complete trace-event JSON document
+/// (`{"traceEvents":[...]}`).
+[[nodiscard]] std::string trace_to_json(const std::vector<TraceRecord>& records);
+
+}  // namespace wtc::obs

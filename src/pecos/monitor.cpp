@@ -1,5 +1,7 @@
 #include "pecos/monitor.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace wtc::pecos {
 namespace {
 
@@ -67,12 +69,14 @@ bool PecosMonitor::assertion_fails(const vm::VmThread& thread, std::uint32_t pc,
     return false;
   }
   ++stats_.checks;
+  obs::count(obs::Counter::pecos_checks);
 
   // Block-entry shadow: control must have legitimately entered the block
   // containing this assertion.
   if (thread.id() < expected_entry_.size() &&
       expected_entry_[thread.id()] != assertion->block_leader) {
     ++stats_.violations;
+    obs::count(obs::Counter::pecos_violations);
     return true;
   }
 
@@ -89,6 +93,7 @@ bool PecosMonitor::assertion_fails(const vm::VmThread& thread, std::uint32_t pc,
   }
   if (!valid) {
     ++stats_.violations;
+    obs::count(obs::Counter::pecos_violations);
     return true;
   }
   return false;
@@ -96,7 +101,13 @@ bool PecosMonitor::assertion_fails(const vm::VmThread& thread, std::uint32_t pc,
 
 bool PecosMonitor::before_execute(const vm::VmThread& thread, std::uint32_t pc,
                                   std::uint64_t word) {
-  return assertion_fails(thread, pc, word);
+  const bool preempted = assertion_fails(thread, pc, word);
+  if (preempted) {
+    // The faulty transfer was caught before the instruction executed —
+    // the paper's preemptive-detection path, as opposed to a post-check.
+    obs::count(obs::Counter::pecos_preemptive_detections);
+  }
+  return preempted;
 }
 
 void PecosMonitor::after_execute(const vm::VmThread& thread, std::uint32_t pc,

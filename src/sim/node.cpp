@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace wtc::sim {
 
@@ -64,10 +65,12 @@ void Node::send(ProcessId to, Message message, Duration delay) {
   const std::uint64_t key = link_key(message.from, to);
   ++links_[key].sent;
   ++totals_.sent;
+  obs::count(obs::Counter::ipc_sent);
   if (faults_) {
     if (faults_->should_drop()) {
       ++links_[key].dropped;
       ++totals_.dropped;
+      obs::count(obs::Counter::ipc_dropped);
       common::log(common::LogLevel::Debug, "sim", "channel dropped message type ",
                   message.type, " from ", message.from, " to ", to);
       return;
@@ -75,6 +78,7 @@ void Node::send(ProcessId to, Message message, Duration delay) {
     if (faults_->should_duplicate()) {
       ++links_[key].duplicated;
       ++totals_.duplicated;
+      obs::count(obs::Counter::ipc_duplicated);
       deliver(to, message, delay + faults_->jitter());
     }
     delay += faults_->jitter();
@@ -89,10 +93,12 @@ void Node::deliver(ProcessId to, const Message& message, Duration delay) {
                               if (auto process = find(to)) {
                                 ++links_[key].delivered;
                                 ++totals_.delivered;
+                                obs::count(obs::Counter::ipc_delivered);
                                 process->on_message(message);
                               } else {
                                 ++links_[key].dead_letters;
                                 ++totals_.dead_letters;
+                                obs::count(obs::Counter::ipc_dead_letters);
                                 common::log(common::LogLevel::Debug, "sim",
                                             "dead letter: message type ",
                                             message.type, " from ", message.from,

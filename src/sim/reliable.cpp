@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace wtc::sim {
 
@@ -13,6 +14,18 @@ ReliableSender::ReliableSender(Process& owner, std::uint32_t channel,
       channel_(channel),
       dest_(std::move(dest)),
       config_(config) {}
+
+ReliableSender::~ReliableSender() {
+  // Outstanding retry timers capture `this` raw; a sender torn down with
+  // frames in flight (manager demotion, failover teardown, test scaffold
+  // destruction) must disarm them or they fire on a dangling pointer.
+  Scheduler& scheduler = owner_.node().scheduler();
+  for (auto& [seq, pending] : pending_) {
+    if (pending.retry_event != 0) {
+      scheduler.cancel(pending.retry_event);
+    }
+  }
+}
 
 std::uint64_t ReliableSender::send(Message inner) {
   Pending pending;
@@ -40,6 +53,7 @@ std::uint64_t ReliableSender::launch(Pending pending) {
   pending.frame.args[1] = seq;
   pending.next_delay = config_.retry_after;
   pending_.emplace(seq, std::move(pending));
+  obs::gauge_max(obs::Gauge::reliable_max_in_flight, pending_.size());
   transmit(seq);
   return seq;
 }
@@ -52,6 +66,7 @@ void ReliableSender::transmit(std::uint64_t seq) {
   Pending& pending = it->second;
   ++pending.attempts;
   ++sent_;
+  obs::count(obs::Counter::reliable_sent);
   const ProcessId to =
       pending.fixed_to != kNoProcess ? pending.fixed_to : dest_();
   if (to != kNoProcess) {
@@ -66,13 +81,15 @@ void ReliableSender::arm_retry(std::uint64_t seq) {
     return;
   }
   const Duration delay = it->second.next_delay;
-  owner_.schedule_after(delay, [this, seq]() {
+  it->second.retry_event = owner_.schedule_after(delay, [this, seq]() {
     auto pending = pending_.find(seq);
     if (pending == pending_.end()) {
       return;  // acked in the meantime
     }
+    pending->second.retry_event = 0;  // this timer just fired
     if (pending->second.attempts >= config_.max_attempts) {
       ++abandoned_;
+      obs::count(obs::Counter::reliable_abandoned);
       common::log(common::LogLevel::Debug, "sim",
                   "reliable channel ", channel_, " abandoning seq ", seq,
                   " after ", pending->second.attempts, " attempts");
@@ -82,6 +99,7 @@ void ReliableSender::arm_retry(std::uint64_t seq) {
     pending->second.next_delay = static_cast<Duration>(
         static_cast<double>(pending->second.next_delay) * config_.backoff);
     ++retries_;
+    obs::count(obs::Counter::reliable_retries);
     transmit(seq);
   });
 }
@@ -91,13 +109,33 @@ bool ReliableSender::on_message(const Message& message) {
       message.args[0] != channel_) {
     return false;
   }
-  if (pending_.erase(message.args[1]) > 0) {
+  const auto it = pending_.find(message.args[1]);
+  if (it != pending_.end()) {
+    // Disarm the retry timer — an acked frame must not leave a queued
+    // callback behind (wasted events at best, a dangling-`this` hazard
+    // once the sender is torn down).
+    if (it->second.retry_event != 0) {
+      owner_.node().scheduler().cancel(it->second.retry_event);
+    }
+    pending_.erase(it);
     ++acked_;
+    obs::count(obs::Counter::reliable_acked);
   }
   return true;
 }
 
 std::optional<Message> ReliableReceiver::accept(const Message& frame) {
+  if (frame.type != kReliableData || frame.args.size() < 4) {
+    // A truncated/corrupted frame (exactly what a faulty channel or an
+    // injector produces) carries no usable framing words; indexing
+    // args[0..3] regardless would read out of bounds. Drop it unacked.
+    ++malformed_;
+    obs::count(obs::Counter::reliable_malformed);
+    common::log(common::LogLevel::Debug, "sim",
+                "reliable receiver dropping malformed frame from ", frame.from,
+                " (", frame.args.size(), " args)");
+    return std::nullopt;
+  }
   const std::uint64_t channel = frame.args[0];
   const std::uint64_t seq = frame.args[1];
 
@@ -112,6 +150,7 @@ std::optional<Message> ReliableReceiver::accept(const Message& frame) {
   Stream& stream = streams_[key];
   if (seq <= stream.floor || stream.above.contains(seq)) {
     ++duplicates_dropped_;
+    obs::count(obs::Counter::reliable_duplicates_dropped);
     return std::nullopt;
   }
   stream.above.insert(seq);
@@ -120,6 +159,7 @@ std::optional<Message> ReliableReceiver::accept(const Message& frame) {
   }
 
   ++accepted_;
+  obs::count(obs::Counter::reliable_accepted);
   Message inner;
   inner.type = static_cast<std::uint32_t>(frame.args[2]);
   inner.from = static_cast<ProcessId>(frame.args[3]);

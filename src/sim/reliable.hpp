@@ -46,14 +46,22 @@ struct ReliableConfig {
 };
 
 /// Sender half. Owned by a `Process`; retry timers are scheduled through
-/// the owner, so they die (and stay dead) with it. The owner must offer
-/// every incoming message to `on_message` so acks are consumed.
+/// the owner, so they die (and stay dead) with it — and each pending
+/// frame's armed timer is tracked by EventId, so an ack cancels it
+/// immediately and destroying the sender (manager demotion, failover
+/// teardown) cancels every outstanding timer instead of leaving armed
+/// callbacks pointing at a dead object. The owner must offer every
+/// incoming message to `on_message` so acks are consumed.
 class ReliableSender {
  public:
   /// `dest` is re-evaluated at every (re)transmission, so retries follow a
   /// receiver that was restarted under a new pid.
   ReliableSender(Process& owner, std::uint32_t channel,
                  std::function<ProcessId()> dest, ReliableConfig config = {});
+  /// Cancels every armed retry timer; in-flight frames are dropped.
+  ~ReliableSender();
+  ReliableSender(const ReliableSender&) = delete;
+  ReliableSender& operator=(const ReliableSender&) = delete;
 
   /// Sends `inner` reliably to `dest()`. Returns the frame sequence.
   std::uint64_t send(Message inner);
@@ -79,6 +87,8 @@ class ReliableSender {
     ProcessId fixed_to = kNoProcess;  // kNoProcess: use the dest provider
     std::uint32_t attempts = 0;
     Duration next_delay = 0;
+    /// The armed retry timer (0 = none). Cancelled on ack and teardown.
+    EventId retry_event = 0;
   };
 
   std::uint64_t launch(Pending pending);
@@ -107,13 +117,19 @@ class ReliableReceiver {
   }
 
   /// Acks `frame` and unwraps its payload. Returns the inner message on
-  /// first delivery, nullopt for a redelivery. Pre: is_frame(frame).
+  /// first delivery, nullopt for a redelivery. A frame that fails
+  /// validation (wrong type, or fewer than the 4 framing args — e.g. a
+  /// truncated or corrupted frame off a faulty channel) is dropped
+  /// without an ack and counted in malformed(); it is never indexed
+  /// out of bounds.
   std::optional<Message> accept(const Message& frame);
 
   [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
   [[nodiscard]] std::uint64_t duplicates_dropped() const noexcept {
     return duplicates_dropped_;
   }
+  /// Frames dropped because they failed validation in accept().
+  [[nodiscard]] std::uint64_t malformed() const noexcept { return malformed_; }
 
  private:
   /// Dedup state for one (sender, channel) stream: every seq <= floor has
@@ -127,6 +143,7 @@ class ReliableReceiver {
   std::unordered_map<std::uint64_t, Stream> streams_;
   std::uint64_t accepted_ = 0;
   std::uint64_t duplicates_dropped_ = 0;
+  std::uint64_t malformed_ = 0;
 };
 
 }  // namespace wtc::sim

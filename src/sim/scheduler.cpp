@@ -2,19 +2,23 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace wtc::sim {
 
 EventId Scheduler::schedule_at(Time t, Callback cb) {
   const EventId id = next_id_++;
   heap_.push_back(Event{std::max(t, now_), id, std::move(cb), false});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
+  obs::gauge_max(obs::Gauge::sched_max_pending_events,
+                 heap_.size() - tombstones_);
   return id;
 }
 
 bool Scheduler::cancel(EventId id) {
   // Rare path: find the entry and tombstone it in place. Mutating the
-  // non-key fields leaves the heap order intact; step() discards the
-  // tombstone when it reaches the top.
+  // non-key fields leaves the heap order intact; the tombstone is
+  // discarded when it surfaces at the top.
   for (Event& event : heap_) {
     if (event.id == id) {
       if (event.cancelled) {
@@ -22,28 +26,36 @@ bool Scheduler::cancel(EventId id) {
       }
       event.cancelled = true;
       ++tombstones_;
+      obs::count(obs::Counter::sched_events_cancelled);
       return true;
     }
   }
   return false;  // already fired or never existed
 }
 
-bool Scheduler::step() {
-  while (!heap_.empty()) {
+void Scheduler::discard_cancelled_top() {
+  while (!heap_.empty() && heap_.front().cancelled) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Event event = std::move(heap_.back());
     heap_.pop_back();
-    if (event.cancelled) {
-      --tombstones_;
-      continue;
-    }
-    now_ = event.time;
-    ++fired_;
-    Callback cb = std::move(event.cb);
-    cb();
-    return true;
+    --tombstones_;
+    obs::count(obs::Counter::sched_tombstones_purged);
   }
-  return false;
+}
+
+bool Scheduler::step() {
+  discard_cancelled_top();
+  if (heap_.empty()) {
+    return false;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event event = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = event.time;
+  ++fired_;
+  obs::count(obs::Counter::sched_events_fired);
+  Callback cb = std::move(event.cb);
+  cb();
+  return true;
 }
 
 void Scheduler::run() {
@@ -54,7 +66,14 @@ void Scheduler::run() {
 
 void Scheduler::run_until(Time t) {
   stopped_ = false;
-  while (!stopped_ && !heap_.empty() && heap_.front().time <= t) {
+  for (;;) {
+    // The deadline check must look at the next LIVE event: a cancelled
+    // event at the heap top with time <= t must not admit a step() that
+    // would fire a live event past the deadline (and drag now_ with it).
+    discard_cancelled_top();
+    if (stopped_ || heap_.empty() || heap_.front().time > t) {
+      break;
+    }
     step();
   }
   now_ = std::max(now_, t);

@@ -47,9 +47,12 @@ class Scheduler {
   void run();
 
   /// Runs all events with timestamp <= `t`, then sets now() to `t`.
+  /// Cancelled events never extend the horizon: the deadline is checked
+  /// against the earliest *live* event.
   void run_until(Time t);
 
-  /// Fires the single next event; returns false if the queue is empty.
+  /// Fires the single next live event; returns false if the queue holds
+  /// nothing but tombstones (or is empty).
   bool step();
 
   /// Makes the innermost run()/run_until() return after the current event.
@@ -75,6 +78,10 @@ class Scheduler {
       return a.time != b.time ? a.time > b.time : a.id > b.id;
     }
   };
+
+  /// Pops cancelled events off the heap top so heap_.front() (if any) is
+  /// the earliest live event.
+  void discard_cancelled_top();
 
   // Binary heap over `heap_` (std::push_heap/pop_heap) rather than a
   // std::priority_queue: cancel() needs to scan and mark entries in

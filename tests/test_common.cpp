@@ -134,19 +134,39 @@ TEST(Rng, Uniform01InUnitInterval) {
   }
 }
 
-TEST(Stats, BinomialCi95MatchesNormalApproximation) {
-  // 46% of 328 activated errors: the paper reports (40, 51).
+TEST(Stats, BinomialCi95MatchesPaperInterval) {
+  // 46% of 328 activated errors: the paper reports (40, 51). The Wilson
+  // interval lands at (40.7, 51.4) — within a rounding step of the
+  // paper's normal-approximation numbers at this sample size.
   const auto ci = binomial_ci95(151, 328);
-  EXPECT_NEAR(ci.lo, 40.6, 0.5);
+  EXPECT_NEAR(ci.lo, 40.7, 0.5);
   EXPECT_NEAR(ci.hi, 51.4, 0.5);
 }
 
 TEST(Stats, BinomialCiEdgeCases) {
   EXPECT_EQ(binomial_ci95(0, 0).lo, 0.0);
+  EXPECT_EQ(binomial_ci95(0, 0).hi, 0.0);
   const auto all = binomial_ci95(50, 50);
   EXPECT_EQ(all.hi, 100.0);
   const auto none = binomial_ci95(0, 50);
   EXPECT_EQ(none.lo, 0.0);
+}
+
+TEST(Stats, BinomialCiNondegenerateAtBoundaries) {
+  // The Wald interval is zero-width at 0/N and N/N — "0 of 50 detected,
+  // CI (0, 0)" misreports certainty. Wilson keeps real width there.
+  const auto none = binomial_ci95(0, 50);
+  EXPECT_GT(none.hi, 0.0);
+  EXPECT_LT(none.hi, 15.0);  // ~7.1 for N=50
+  const auto all = binomial_ci95(50, 50);
+  EXPECT_LT(all.lo, 100.0);
+  EXPECT_GT(all.lo, 85.0);  // ~92.9 for N=50
+}
+
+TEST(Stats, FormatPercentCiBoundaryGolden) {
+  // 20/20 under Wald printed "100% (100, 100)"; Wilson spreads the lower
+  // bound to ~84%.
+  EXPECT_EQ(format_percent_ci(20, 20), "100% (84, 100)");
 }
 
 TEST(Stats, PercentFormatting) {

@@ -167,6 +167,33 @@ TEST(DuplicatedManager, StandbyTakesOverAndKeepsAuditCovered) {
   EXPECT_EQ(db::load_i32(env.db->region(), at), db::subscriber_auth_key(3));
 }
 
+TEST(DuplicatedManager, PairTeardownWithArmedRetryTimersIsClean) {
+  // Teardown path for the reliable heartbeat: a blackholed channel leaves
+  // the active manager's ReliableSender with armed backoff timers, and
+  // the whole world (pair, node, scheduler) is then torn down. Each
+  // ~ReliableSender must cancel its outstanding EventIds during ~Node —
+  // before the fix the timers stayed queued referencing freed senders
+  // (heap-use-after-free under the sanitizer CI job).
+  {
+    Env env;
+    env.node.set_channel_faults({.drop_probability = 1.0, .seed = 3});
+    auto pair = manager::spawn_manager_pair(
+        env.node, env.audit_factory(reliable_audit_config()),
+        reliable_manager_config());
+    env.scheduler.run_until(2 * sim::kSecond);
+    // Heartbeats went into a black hole: frames are in flight with live
+    // retry timers pending in the scheduler.
+    EXPECT_GT(pair.first->heartbeats_sent(), 0u);
+    EXPECT_EQ(pair.first->last_acked(), 0u);
+    EXPECT_GT(env.scheduler.pending_events(), 0u);
+    // Also kill both manager processes first — the mixed order (kill,
+    // then destroy) is what bench teardown and campaign scopes produce.
+    env.node.kill(pair.first_pid);
+    env.node.kill(pair.second_pid);
+  }
+  SUCCEED();
+}
+
 TEST(DuplicatedManager, PartitionPromotesStandbyThenTermDemotesOldActive) {
   Env env;
   auto pair = manager::spawn_manager_pair(env.node, env.audit_factory());

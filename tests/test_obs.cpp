@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "experiments/campaign.hpp"
+#include "obs/capture.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace wtc::obs {
+namespace {
+
+// --- registry ---
+
+TEST(ObsRegistry, NamesRoundTrip) {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const auto c = static_cast<Counter>(i);
+    const auto found = find_counter(counter_name(c));
+    ASSERT_TRUE(found.has_value()) << counter_name(c);
+    EXPECT_EQ(*found, c);
+  }
+  for (std::size_t i = 0; i < kGaugeCount; ++i) {
+    const auto g = static_cast<Gauge>(i);
+    const auto found = find_gauge(gauge_name(g));
+    ASSERT_TRUE(found.has_value()) << gauge_name(g);
+    EXPECT_EQ(*found, g);
+  }
+  for (std::size_t i = 0; i < kHistogramCount; ++i) {
+    const auto h = static_cast<Histogram>(i);
+    const auto found = find_histogram(histogram_name(h));
+    ASSERT_TRUE(found.has_value()) << histogram_name(h);
+    EXPECT_EQ(*found, h);
+  }
+  EXPECT_FALSE(find_counter("no.such.metric").has_value());
+}
+
+TEST(ObsRegistry, NamesAreUniqueAndDotted) {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const auto name = counter_name(static_cast<Counter>(i));
+    EXPECT_NE(name.find('.'), std::string_view::npos) << name;
+    for (std::size_t j = i + 1; j < kCounterCount; ++j) {
+      EXPECT_NE(name, counter_name(static_cast<Counter>(j)));
+    }
+  }
+}
+
+// --- disabled mode ---
+
+TEST(ObsDisabled, InstrumentSitesAreNoOpsWithoutRecorder) {
+  ASSERT_EQ(current_recorder(), nullptr);
+  ASSERT_EQ(active_capture(), nullptr);
+  // Nothing to observe, nothing to crash: the whole point of the default.
+  count(Counter::db_reads);
+  gauge_max(Gauge::db_write_generation, 7);
+  observe(Histogram::audit_check_cost_us, 40);
+  trace_span("noop", "test", 0, 10);
+  trace_instant("noop", "test", 5);
+  SUCCEED();
+}
+
+// --- recorder ---
+
+TEST(ObsRecorder, CountsGaugesHistograms) {
+  Recorder recorder;
+  ScopedRecorder scope(recorder);
+  count(Counter::db_reads);
+  count(Counter::db_reads, 4);
+  gauge_max(Gauge::sched_max_pending_events, 10);
+  gauge_max(Gauge::sched_max_pending_events, 3);  // below the high water
+  observe(Histogram::audit_check_cost_us, 0);
+  observe(Histogram::audit_check_cost_us, 5);
+  observe(Histogram::audit_check_cost_us, 1000);
+
+  const MetricsSnapshot& snap = recorder.snapshot();
+  EXPECT_EQ(snap.runs, 1u);
+  EXPECT_EQ(snap.counter(Counter::db_reads), 5u);
+  EXPECT_EQ(snap.counter(Counter::db_writes), 0u);
+  EXPECT_EQ(snap.gauge(Gauge::sched_max_pending_events), 10u);
+  const HistogramData& hist = snap.histogram(Histogram::audit_check_cost_us);
+  EXPECT_EQ(hist.count, 3u);
+  EXPECT_EQ(hist.sum, 1005u);
+  EXPECT_EQ(hist.min, 0u);
+  EXPECT_EQ(hist.max, 1000u);
+  EXPECT_EQ(hist.buckets[0], 1u);   // value 0
+  EXPECT_EQ(hist.buckets[3], 1u);   // value 5 (bit_width 3)
+  EXPECT_EQ(hist.buckets[10], 1u);  // value 1000 (bit_width 10)
+}
+
+TEST(ObsRecorder, ScopedRecorderRestoresPrevious) {
+  Recorder outer;
+  ScopedRecorder outer_scope(outer);
+  {
+    Recorder inner;
+    ScopedRecorder inner_scope(inner);
+    count(Counter::ipc_sent);
+    EXPECT_EQ(inner.snapshot().counter(Counter::ipc_sent), 1u);
+  }
+  count(Counter::ipc_sent);
+  EXPECT_EQ(outer.snapshot().counter(Counter::ipc_sent), 1u);
+}
+
+TEST(ObsRecorder, TraceEventsBufferedOnlyWhenTracing) {
+  Recorder untraced(false);
+  {
+    ScopedRecorder scope(untraced);
+    trace_span("span", "test", 10, 5);
+  }
+  EXPECT_TRUE(untraced.events().empty());
+
+  Recorder traced(true);
+  {
+    ScopedRecorder scope(traced);
+    trace_span("span", "test", 10, 5);
+    trace_instant("mark", "test", 12);
+  }
+  ASSERT_EQ(traced.events().size(), 2u);
+  EXPECT_EQ(traced.events()[0].phase, TracePhase::Complete);
+  EXPECT_EQ(traced.events()[1].phase, TracePhase::Instant);
+  EXPECT_EQ(traced.events()[1].ts, 12u);
+}
+
+// --- snapshot merge ---
+
+TEST(ObsSnapshot, MergeAddsCountersMaxesGauges) {
+  Recorder a, b;
+  a.count(Counter::db_reads, 3);
+  a.gauge_max(Gauge::db_write_generation, 10);
+  a.observe(Histogram::audit_pass_cost_us, 100);
+  b.count(Counter::db_reads, 4);
+  b.gauge_max(Gauge::db_write_generation, 7);
+  b.observe(Histogram::audit_pass_cost_us, 50);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.runs, 2u);
+  EXPECT_EQ(merged.counter(Counter::db_reads), 7u);
+  EXPECT_EQ(merged.gauge(Gauge::db_write_generation), 10u);
+  EXPECT_EQ(merged.histogram(Histogram::audit_pass_cost_us).count, 2u);
+  EXPECT_EQ(merged.histogram(Histogram::audit_pass_cost_us).min, 50u);
+  EXPECT_EQ(merged.histogram(Histogram::audit_pass_cost_us).max, 100u);
+
+  // Merge is order-independent (integer adds and maxes only).
+  MetricsSnapshot reversed = b.snapshot();
+  reversed.merge(a.snapshot());
+  EXPECT_EQ(merged, reversed);
+}
+
+// --- campaign integration: determinism across worker counts ---
+
+/// Runs a deterministic per-index workload under a tracing Capture and
+/// returns (metrics JSON, trace JSON).
+std::pair<std::string, std::string> run_capture_campaign(std::size_t jobs) {
+  Capture capture(CaptureOptions{.tracing = true});
+  experiments::CampaignOptions options;
+  options.jobs = jobs;
+  options.stderr_progress = 0;
+  experiments::run_campaign(
+      8,
+      [](std::size_t i) {
+        count(Counter::db_reads, i + 1);
+        gauge_max(Gauge::sched_max_pending_events, 100 - i);
+        observe(Histogram::audit_check_cost_us, 10 * (i + 1));
+        trace_span("run.work", "test", 1000 * i, 500);
+        trace_instant("run.mark", "test", 1000 * i + 250);
+        return 0;
+      },
+      options);
+  return {capture.metrics_json(), capture.trace_json()};
+}
+
+TEST(ObsCampaign, MergedOutputIdenticalAcrossJobCounts) {
+  const auto serial = run_capture_campaign(1);
+  const auto parallel = run_capture_campaign(4);
+  EXPECT_EQ(serial.first, parallel.first);
+  EXPECT_EQ(serial.second, parallel.second);
+
+  // Spot-check the aggregate itself: sum over i of (i+1) = 36, and the
+  // trace holds 8 spans + 8 instants.
+  EXPECT_NE(serial.first.find("\"db.reads\": 36"), std::string::npos)
+      << serial.first;
+}
+
+TEST(ObsCampaign, TracePidIsRunIndex) {
+  Capture capture(CaptureOptions{.tracing = true});
+  experiments::CampaignOptions options;
+  options.jobs = 2;
+  options.stderr_progress = 0;
+  experiments::run_campaign(
+      3,
+      [](std::size_t i) {
+        trace_instant("mark", "test", i);
+        return 0;
+      },
+      options);
+  const auto records = capture.trace();
+  ASSERT_EQ(records.size(), 3u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].pid, i);
+    EXPECT_EQ(records[i].event.ts, i);
+  }
+}
+
+TEST(ObsCampaign, NoCaptureMeansNoRecorderInsideRuns) {
+  ASSERT_EQ(active_capture(), nullptr);
+  experiments::CampaignOptions options;
+  options.jobs = 2;
+  options.stderr_progress = 0;
+  std::vector<int> saw_recorder = experiments::run_campaign(
+      4, [](std::size_t) { return current_recorder() != nullptr ? 1 : 0; },
+      options);
+  for (const int saw : saw_recorder) {
+    EXPECT_EQ(saw, 0);
+  }
+}
+
+// --- serialization well-formedness ---
+
+/// Tiny structural JSON validator: tracks brace/bracket nesting and quote
+/// state. Catches unbalanced documents and bare garbage — enough to keep
+/// the emitters honest without a JSON dependency.
+bool json_balanced(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char ch : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (ch == '\\') {
+        escaped = true;
+      } else if (ch == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != ch) {
+          return false;
+        }
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+TEST(ObsSerialization, MetricsJsonWellFormed) {
+  Recorder recorder;
+  recorder.count(Counter::audit_findings, 3);
+  recorder.observe(Histogram::audit_pass_cost_us, 12345);
+  const std::string json = recorder.snapshot().to_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"audit.findings\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"audit.pass_cost_us\""), std::string::npos);
+}
+
+TEST(ObsSerialization, MetricsCsvHasHeaderAndAllMetrics) {
+  Recorder recorder;
+  const std::string csv = recorder.snapshot().to_csv();
+  EXPECT_EQ(csv.rfind("metric,value\n", 0), 0u);
+  // runs + every counter + every gauge + 4 rows per histogram.
+  const std::size_t expected_rows =
+      1 + 1 + kCounterCount + kGaugeCount + 4 * kHistogramCount;
+  std::size_t lines = 0;
+  for (const char ch : csv) {
+    lines += ch == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(lines, expected_rows);
+}
+
+TEST(ObsSerialization, TraceJsonWellFormedAndTyped) {
+  std::vector<TraceRecord> records;
+  records.push_back({TraceEvent{"audit.full_pass", "audit", 1000, 250,
+                                TracePhase::Complete},
+                     0});
+  records.push_back({TraceEvent{"audit.finding", "audit", 1100, 0,
+                                TracePhase::Instant},
+                     1});
+  const std::string json = trace_to_json(records);
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":250"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+}
+
+TEST(ObsSerialization, EmptyTraceIsStillADocument) {
+  const std::string json = trace_to_json({});
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+// --- capture stacking ---
+
+TEST(ObsCapture, InstallRestoresPreviousOnDestruction) {
+  ASSERT_EQ(active_capture(), nullptr);
+  {
+    Capture outer;
+    EXPECT_EQ(active_capture(), &outer);
+    {
+      Capture inner;
+      EXPECT_EQ(active_capture(), &inner);
+    }
+    EXPECT_EQ(active_capture(), &outer);
+  }
+  EXPECT_EQ(active_capture(), nullptr);
+}
+
+TEST(ObsCapture, AbsorbRunAccumulates) {
+  Capture capture;
+  Recorder recorder;
+  recorder.count(Counter::manager_restarts, 2);
+  capture.absorb_run(RunData{recorder.snapshot(), {}});
+  capture.absorb_run(RunData{recorder.snapshot(), {}});
+  EXPECT_EQ(capture.merged().counter(Counter::manager_restarts), 4u);
+  EXPECT_EQ(capture.merged().runs, 2u);
+}
+
+}  // namespace
+}  // namespace wtc::obs

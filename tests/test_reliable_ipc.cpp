@@ -207,6 +207,91 @@ TEST(Reliable, BoundedAttemptsAbandonUnreachableReceiver) {
   EXPECT_EQ(node.dead_letter_count(), 3u);
 }
 
+TEST(Reliable, MalformedFramesDroppedWithoutAckOrOobRead) {
+  Scheduler scheduler;
+  Node node(scheduler);
+  auto sender = std::make_shared<ReliablePeer>();
+  const auto sender_pid = node.spawn("sender", sender);
+  auto receiver = std::make_shared<ReliablePeer>();
+  node.spawn("receiver", receiver);
+
+  // Truncated frames: kReliableData with fewer than the 4 framing words.
+  // Before validation, accept() indexed args[0..3] unconditionally — an
+  // out-of-bounds read on exactly the input a faulty channel produces.
+  for (std::size_t nargs = 0; nargs < 4; ++nargs) {
+    const auto truncated =
+        typed(sender_pid, kReliableData,
+              std::vector<std::uint64_t>(nargs, 1));
+    EXPECT_FALSE(receiver->receiver.accept(truncated).has_value());
+  }
+  // Wrong type is rejected too (accept is only defined on data frames).
+  EXPECT_FALSE(
+      receiver->receiver.accept(typed(sender_pid, 777, {1, 2, 3, 4}))
+          .has_value());
+
+  EXPECT_EQ(receiver->receiver.malformed(), 5u);
+  EXPECT_EQ(receiver->receiver.accepted(), 0u);
+  // No ack was ever sent back for garbage.
+  scheduler.run_until(kSecond);
+  EXPECT_TRUE(sender->delivered.empty());
+  EXPECT_EQ(node.totals().sent, 0u);
+}
+
+TEST(Reliable, AckCancelsArmedRetryTimer) {
+  Scheduler scheduler;
+  Node node(scheduler);  // clean channel: ack arrives before first retry
+
+  auto sender = std::make_shared<ReliablePeer>();
+  const auto sender_pid = node.spawn("sender", sender);
+  auto receiver = std::make_shared<ReliablePeer>();
+  const auto receiver_pid = node.spawn("receiver", receiver);
+  sender->start_sender(receiver_pid, 1);
+
+  scheduler.schedule_after(0, [&]() {
+    sender->sender->send(typed(sender_pid, 5));
+  });
+  scheduler.run_until(60 * kSecond);
+
+  EXPECT_EQ(sender->sender->acked(), 1u);
+  EXPECT_EQ(sender->sender->sent(), 1u);
+  EXPECT_EQ(sender->sender->retries(), 0u);
+  // The ack disarmed the pending retry instead of leaving it queued: the
+  // scheduler drained completely (a leaked timer would also have fired as
+  // a no-op, but cancellation removes it outright).
+  EXPECT_TRUE(scheduler.empty());
+}
+
+TEST(Reliable, DestroyingSenderCancelsOutstandingRetryTimers) {
+  Scheduler scheduler;
+  Node node(scheduler);
+  node.set_channel_faults({.drop_probability = 1.0});  // acks never arrive
+
+  auto sender = std::make_shared<ReliablePeer>();
+  const auto sender_pid = node.spawn("sender", sender);
+  auto receiver = std::make_shared<ReliablePeer>();
+  const auto receiver_pid = node.spawn("receiver", receiver);
+  sender->start_sender(receiver_pid, 1);
+
+  scheduler.schedule_after(0, [&]() {
+    for (int i = 0; i < 5; ++i) {
+      sender->sender->send(typed(sender_pid, 5));
+    }
+  });
+  // Let the first transmissions and backoff timers arm, then destroy the
+  // ReliableSender while its OWNER PROCESS is still alive. The armed
+  // retry callbacks captured the sender raw; the incarnation guard does
+  // not protect them (the process lives on), so before the fix they fired
+  // into a destroyed object — heap-use-after-free under ASan.
+  scheduler.schedule_after(100 * kMillisecond,
+                           [&]() { sender->sender.reset(); });
+  const std::size_t pending_before = scheduler.pending_events();
+  scheduler.run_until(60 * kSecond);
+
+  EXPECT_FALSE(sender->sender.has_value());
+  EXPECT_TRUE(scheduler.empty());
+  EXPECT_GT(pending_before, 0u);
+}
+
 TEST(Reliable, RetriesStopWhenOwnerDies) {
   Scheduler scheduler;
   Node node(scheduler);

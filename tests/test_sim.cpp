@@ -59,6 +59,49 @@ TEST(Scheduler, RunUntilAdvancesClockWithoutOvershooting) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(Scheduler, RunUntilIgnoresCancelledEventAtDeadlineCheck) {
+  // Regression: run_until's deadline check used to look at heap_.front()
+  // without skipping tombstones. A cancelled event inside the horizon
+  // sitting at the heap top let step() fire the next LIVE event even when
+  // that event lay past the deadline — overshooting both the event and
+  // the clock.
+  Scheduler sched;
+  int fired = 0;
+  const EventId cancelled = sched.schedule_at(5, [&]() { ++fired; });
+  sched.schedule_at(100, [&]() { ++fired; });
+  ASSERT_TRUE(sched.cancel(cancelled));
+
+  sched.run_until(50);
+  EXPECT_EQ(fired, 0);       // the t=100 event must NOT have fired
+  EXPECT_EQ(sched.now(), 50u);  // and the clock must not overshoot
+
+  sched.run_until(100);      // the live event still fires on time
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), 100u);
+}
+
+TEST(Scheduler, RunUntilSkipsTombstoneRunAtDeadline) {
+  // Same hazard with a pile of tombstones: all inside the horizon, one
+  // live event beyond it.
+  Scheduler sched;
+  int fired = 0;
+  std::vector<EventId> doomed;
+  for (Time t = 1; t <= 10; ++t) {
+    doomed.push_back(sched.schedule_at(t, [&]() { ++fired; }));
+  }
+  sched.schedule_at(200, [&]() { ++fired; });
+  for (const EventId id : doomed) {
+    ASSERT_TRUE(sched.cancel(id));
+  }
+  EXPECT_EQ(sched.pending_events(), 1u);
+
+  sched.run_until(150);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sched.now(), 150u);
+  sched.run();
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(Scheduler, EventsScheduledFromEventsRun) {
   Scheduler sched;
   int depth = 0;
