@@ -302,7 +302,10 @@ CheckResult AuditEngine::structure_scan(db::TableId t, bool exhaustive) {
     db::direct::repair_header(db_, t, r);
   }
   // Repairs above went through the store (note_write), so the repaired
-  // records carry generations > mark and get re-verified next cycle.
+  // records carry generations > mark and get re-verified next cycle — and
+  // the same notification resynchronizes the shadow group index with the
+  // repaired header words, keeping the API's O(1) splice path coherent
+  // after structural recovery.
   structure_watermark_[t] = mark;
   return result;
 }

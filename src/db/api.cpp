@@ -329,7 +329,7 @@ Status DbApi::write_fld(TableId t, RecordIndex r, FieldId f, std::int32_t value)
   return result;
 }
 
-void DbApi::relink_groups(const TableDescriptor&, TableId t) {
+void DbApi::relink_groups(TableId t) {
   // Rebuild every group chain in record-index order. This keeps the
   // structural invariant "next == index of the next record in my group"
   // exactly checkable (and repairable) by the structural audit. Shared
@@ -337,6 +337,22 @@ void DbApi::relink_groups(const TableDescriptor&, TableId t) {
   if (t < db_.table_count()) {
     direct::relink_table(db_, t);
   }
+}
+
+void DbApi::splice_or_relink(TableId t, RecordIndex r, std::uint32_t old_group,
+                             std::uint32_t old_next) {
+  if (link_mode_ == LinkMode::FullRelink) {
+    relink_groups(t);
+    return;
+  }
+  if (db_.index_cross_check() && !db_.verify_index(t)) {
+    // Paranoid mode: a store-bypassing write desynced the shadow index.
+    // Heal it from the region before computing splice neighbours, so the
+    // splice stays byte-equivalent to a relink of the current region.
+    db_.rebuild_index(t);
+  }
+  direct::splice_links(db_, t, r, old_group, old_next);
+  wtc::obs::count(wtc::obs::Counter::db_index_splices);
 }
 
 Status DbApi::move_rec(TableId t, RecordIndex r, std::uint32_t target_group) {
@@ -360,10 +376,11 @@ Status DbApi::move_rec(TableId t, RecordIndex r, std::uint32_t target_group) {
   if (header.status != kStatusActive) {
     result = Status::RecordNotActive;
   } else {
+    const std::uint32_t old_group = header.group;
     header.group = target_group;
     store_record_header(db_.region(), at, header);
     db_.note_write(at + 8, 4);  // group word rewritten
-    relink_groups(desc, t);
+    splice_or_relink(t, r, old_group, header.next);
   }
   if (auto_locked) {
     db_.unlock(t, pid_);
@@ -386,34 +403,76 @@ Status DbApi::alloc_rec(TableId t, std::uint32_t group, RecordIndex& out) {
   if (const Status s = check_lock(t, auto_locked); s != Status::Ok) {
     return s;
   }
+  const auto record_at = [&](RecordIndex r) {
+    return static_cast<std::size_t>(desc.table_offset) +
+           static_cast<std::size_t>(r) * desc.record_size;
+  };
+  // Find the lowest-index free slot. Splice mode pops it from the shadow
+  // free index and consults exactly one header; FullRelink mode is the
+  // original linear scan, reading every header up to the first free one.
+  // Both charge the observer for precisely the headers actually read.
+  std::optional<RecordIndex> slot;
+  RecordHeader header;
+  if (link_mode_ == LinkMode::Splice) {
+    auto candidate = db_.index(t).first_free();
+    for (int attempt = 0; attempt < 2 && candidate; ++attempt) {
+      const std::size_t at = record_at(*candidate);
+      header = load_record_header(db_.region(), at);
+      if (auto* obs = db_.observer()) {
+        obs->on_client_read(pid_, at + 4, 4);
+      }
+      if (header.status == kStatusFree) {
+        slot = candidate;
+        wtc::obs::count(wtc::obs::Counter::db_index_hits);
+        break;
+      }
+      // The index is advisory: raw (store-bypassing) corruption can leave
+      // it stale — the popped record claims to be free but its region
+      // status word disagrees. Rebuild from the region and retry once;
+      // after the rebuild first_free() is free by construction. (An EMPTY
+      // free set is trusted without a rebuild: a record raw-corrupted
+      // *into* looking free is not something alloc should hand out, and
+      // rebuilding on every table-full allocation would put an O(N) scan
+      // back on the hot path.)
+      db_.rebuild_index(t);
+      candidate = db_.index(t).first_free();
+    }
+  } else {
+    for (RecordIndex r = 0; r < desc.num_records; ++r) {
+      const std::size_t at = record_at(r);
+      header = load_record_header(db_.region(), at);
+      if (auto* obs = db_.observer()) {
+        obs->on_client_read(pid_, at + 4, 4);
+      }
+      if (header.status == kStatusFree) {
+        slot = r;
+        break;
+      }
+    }
+  }
   Status result = Status::NoFreeRecord;
   out = 0;
-  for (RecordIndex r = 0; r < desc.num_records; ++r) {
-    const std::size_t at = static_cast<std::size_t>(desc.table_offset) +
-                           static_cast<std::size_t>(r) * desc.record_size;
-    auto header = load_record_header(db_.region(), at);
-  if (auto* obs = db_.observer()) {
-    obs->on_client_read(pid_, at + 4, 4);
-  }
-    if (header.status == kStatusFree) {
-      header.status = kStatusActive;
-      header.group = group;
-      store_record_header(db_.region(), at, header);
-      // Initialize data fields to catalog defaults.
-      const CatalogView catalog(db_.region());
-      for (FieldId f = 0; f < desc.num_fields; ++f) {
-        const auto field_desc = catalog.field(t, f);
-        store_i32(db_.region(), at + kRecordHeaderSize + static_cast<std::size_t>(f) * 4,
-                  field_desc ? field_desc->default_value : 0);
-      }
-      db_.note_write(at + 4, 8);  // status + group
-      db_.note_write(at + kRecordHeaderSize, desc.num_fields * 4);
-      relink_groups(desc, t);
-      out = r;
-      result = Status::Ok;
-      touch_meta(t, r, true);
-      break;
+  if (slot) {
+    const std::size_t at = record_at(*slot);
+    const std::uint32_t old_group = header.group;
+    const std::uint32_t old_next = header.next;
+    header.status = kStatusActive;
+    header.group = group;
+    store_record_header(db_.region(), at, header);
+    // Initialize data fields to catalog defaults (one catalog decode for
+    // the whole record, not one per field).
+    const CatalogView catalog(db_.region());
+    for (FieldId f = 0; f < desc.num_fields; ++f) {
+      const auto field_desc = catalog.field(t, f);
+      store_i32(db_.region(), at + kRecordHeaderSize + static_cast<std::size_t>(f) * 4,
+                field_desc ? field_desc->default_value : 0);
     }
+    db_.note_write(at + 4, 8);  // status + group
+    db_.note_write(at + kRecordHeaderSize, desc.num_fields * 4);
+    splice_or_relink(t, *slot, old_group, old_next);
+    out = *slot;
+    result = Status::Ok;
+    touch_meta(t, *slot, true);
   }
   if (auto_locked) {
     db_.unlock(t, pid_);
@@ -440,12 +499,14 @@ Status DbApi::free_rec(TableId t, RecordIndex r) {
   if (header.status != kStatusActive) {
     result = Status::RecordNotActive;
   } else {
+    const std::uint32_t old_group = header.group;
     header.status = kStatusFree;
     header.group = 0;
     store_record_header(db_.region(), at, header);
     // Scrub the data portion back to catalog defaults so a freed record
     // carries no stale call data (and the audit can verify free records
-    // exactly against their defaults).
+    // exactly against their defaults). One catalog decode for the whole
+    // record, not one per field.
     const CatalogView catalog(db_.region());
     for (FieldId f = 0; f < desc.num_fields; ++f) {
       const auto field_desc = catalog.field(t, f);
@@ -457,7 +518,7 @@ Status DbApi::free_rec(TableId t, RecordIndex r) {
     // store attests it: the incremental range audit can skip the freed
     // record until something writes its field area again.
     db_.note_scrub(at + kRecordHeaderSize, desc.num_fields * 4);
-    relink_groups(desc, t);
+    splice_or_relink(t, r, old_group, header.next);
     touch_meta(t, r, true);
   }
   if (auto_locked) {

@@ -81,11 +81,21 @@ class NotificationSink {
   virtual void on_api_event(const ApiEvent& event) = 0;
 };
 
+/// How the mutating operations (alloc/free/move) maintain the group-chain
+/// invariant. Splice is the production path: O(log N) via the shadow
+/// index, rewriting only the affected link words. FullRelink is the
+/// original O(N_records) scan-and-rebuild, kept as the reference arm the
+/// hot-path ablation (A12) benchmarks and byte-compares against.
+enum class LinkMode : std::uint8_t { Splice, FullRelink };
+
 /// Per-connection API handle (one per client process).
 class DbApi {
  public:
   /// `clock` supplies virtual time for lock stamps and metadata.
   DbApi(Database& db, std::function<sim::Time()> clock);
+
+  void set_link_mode(LinkMode mode) noexcept { link_mode_ = mode; }
+  [[nodiscard]] LinkMode link_mode() const noexcept { return link_mode_; }
 
   /// Enables the audit-instrumented ("modified") API form.
   void set_audit_hooks(NotificationSink* sink) noexcept { sink_ = sink; }
@@ -144,8 +154,15 @@ class DbApi {
   void touch_meta(TableId t, RecordIndex r, bool is_write);
   /// Rebuilds the `next` links of every record of table `t` so each chain
   /// lists its group's records in index order (the structural invariant
-  /// the audit checks).
-  void relink_groups(const TableDescriptor& desc, TableId);
+  /// the audit checks). FullRelink mode only.
+  void relink_groups(TableId t);
+  /// Restores the chain invariant after this call changed record `r`'s
+  /// group word from `old_group`: an O(log N) index splice in Splice mode
+  /// (cross-checked and healed first when the database's paranoid mode is
+  /// on), the full O(N) rebuild in FullRelink mode. `old_next` is r's link
+  /// word as it was before the change.
+  void splice_or_relink(TableId t, RecordIndex r, std::uint32_t old_group,
+                        std::uint32_t old_next);
 
   Database& db_;
   std::function<sim::Time()> clock_;
@@ -153,6 +170,7 @@ class DbApi {
   sim::ProcessId pid_ = sim::kNoProcess;
   std::uint32_t thread_id_ = 0;
   bool connected_ = false;
+  LinkMode link_mode_ = LinkMode::Splice;
 };
 
 /// Modelled virtual-time cost of one API call, microseconds (used by the

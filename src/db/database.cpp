@@ -40,6 +40,38 @@ Database::Database(Schema schema, const PopulateFn& populate)
     field_gen_.emplace_back(table.num_records, 0);
     scrub_gen_.emplace_back(table.num_records, 0);
   }
+
+  // The formatted (and populated) region is authoritative; mirror it.
+  index_.resize(schema_.tables.size());
+  rebuild_all_indexes();
+}
+
+void Database::rebuild_index(TableId t) {
+  obs::count(obs::Counter::db_index_rebuilds);
+  const auto& tl = layout_.tables().at(t);
+  auto& index = index_[t];
+  index.reset(tl.num_records);
+  for (RecordIndex r = 0; r < tl.num_records; ++r) {
+    const std::size_t at = tl.offset + static_cast<std::size_t>(r) * tl.record_size;
+    index.sync(r, load_u32(region_, at + 4), load_u32(region_, at + 8));
+  }
+}
+
+void Database::rebuild_all_indexes() {
+  for (std::size_t t = 0; t < schema_.tables.size(); ++t) {
+    rebuild_index(static_cast<TableId>(t));
+  }
+}
+
+bool Database::verify_index(TableId t) const {
+  const auto& tl = layout_.tables().at(t);
+  TableIndex fresh;
+  fresh.reset(tl.num_records);
+  for (RecordIndex r = 0; r < tl.num_records; ++r) {
+    const std::size_t at = tl.offset + static_cast<std::size_t>(r) * tl.record_size;
+    fresh.sync(r, load_u32(region_, at + 4), load_u32(region_, at + 8));
+  }
+  return fresh == index_.at(t);
 }
 
 void Database::note_write(std::size_t offset, std::size_t len) noexcept {
@@ -74,12 +106,21 @@ void Database::mark_written(std::size_t offset, std::size_t len) noexcept {
       // The span overlaps this record; it touched the field area iff it
       // reaches past the record header, and the header iff it starts
       // before the field area.
-      const std::size_t field_start = tl.offset +
-                                      static_cast<std::size_t>(r) * tl.record_size +
-                                      kRecordHeaderSize;
+      const std::size_t rec_at =
+          tl.offset + static_cast<std::size_t>(r) * tl.record_size;
+      const std::size_t field_start = rec_at + kRecordHeaderSize;
       if (offset < field_start) {
         header_gen_[t][r] = gen;
         table_header_gen_[t] = gen;
+        // The write may have changed the status (+4) or group (+8) word —
+        // the inputs to this record's shadow-index membership. Re-read
+        // both and resync; the region already holds the new bytes (store
+        // paths write first, then note_write/mark_written).
+        if (offset < rec_at + 12 && end > rec_at + 4) {
+          index_[t].sync(r, load_u32(region_, rec_at + 4),
+                         load_u32(region_, rec_at + 8));
+          obs::count(obs::Counter::db_index_resyncs);
+        }
       }
       if (end > field_start && tl.num_fields > 0) {
         field_gen_[t][r] = gen;

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "db/index.hpp"
 #include "db/layout.hpp"
 #include "db/schema.hpp"
 #include "sim/node.hpp"
@@ -219,6 +220,31 @@ class Database {
   [[nodiscard]] bool span_written_since(std::size_t offset, std::size_t len,
                                         std::uint64_t gen) const noexcept;
 
+  // --- shadow group/free indexes (O(1) API hot path; see index.hpp) ---
+  // One TableIndex per table, living outside the audited region. Kept in
+  // sync by mark_written: a store write overlapping a record's status or
+  // group word re-reads both and resyncs that record's membership — so
+  // the index follows API writes, the audit's header repairs, disk
+  // reloads / image installs, and the injector's through-store corruption
+  // without any caller-side bookkeeping. Raw (store-bypassing) corruption
+  // can desync it; consumers treat it as advisory and rebuild on demand.
+
+  [[nodiscard]] const TableIndex& index(TableId t) const { return index_.at(t); }
+  /// Rebuilds table `t`'s index from the region's header words (the
+  /// stale-index recovery path; also counts obs db.index_rebuilds).
+  void rebuild_index(TableId t);
+  void rebuild_all_indexes();
+  /// Full-rebuild cross-check: true iff the live index equals one rebuilt
+  /// from the region bytes right now.
+  [[nodiscard]] bool verify_index(TableId t) const;
+  /// When enabled, DbApi cross-checks (and heals) the index before every
+  /// splice — the debug-mode guard the splice equivalence argument rides
+  /// on. Off by default: the check is O(N_records) per mutation.
+  void set_index_cross_check(bool on) noexcept { index_cross_check_ = on; }
+  [[nodiscard]] bool index_cross_check() const noexcept {
+    return index_cross_check_;
+  }
+
   // --- experiment oracle hook ---
   void set_observer(RegionObserver* observer) noexcept { observer_ = observer; }
   [[nodiscard]] RegionObserver* observer() const noexcept { return observer_; }
@@ -243,6 +269,9 @@ class Database {
   std::vector<std::vector<std::uint64_t>> header_gen_;  // [table][record]
   std::vector<std::vector<std::uint64_t>> field_gen_;   // [table][record]
   std::vector<std::vector<std::uint64_t>> scrub_gen_;   // [table][record]
+
+  std::vector<TableIndex> index_;  // per table, shadow of status/group words
+  bool index_cross_check_ = false;
 };
 
 }  // namespace wtc::db

@@ -36,6 +36,41 @@ void relink_table(Database& db, TableId t) {
   }
 }
 
+void splice_links(Database& db, TableId t, RecordIndex r,
+                  std::uint32_t old_group, std::uint32_t old_next) {
+  const auto& layout = db.layout();
+  const TableIndex& index = db.index(t);
+  auto region = db.region();
+  // Store a link word only if it actually changes, exactly like
+  // relink_table: a no-op rewrite would spuriously dirty the word and
+  // over-report legitimate overwrites to the oracle.
+  const auto put_link = [&](RecordIndex record, std::uint32_t value) {
+    const std::size_t link_at = layout.record_offset(t, record) + 12;
+    if (load_u32(region, link_at) != value) {
+      store_u32(region, link_at, value);
+      db.note_write(link_at, 4);
+    }
+  };
+  const std::uint32_t new_group = load_u32(region, layout.record_offset(t, r) + 8);
+  // Leave the old chain: the predecessor inherits r's old successor.
+  if (old_group < kMaxGroups && old_group != new_group) {
+    if (const auto pred = index.pred(old_group, r)) {
+      put_link(*pred, old_next);
+    }
+  }
+  if (new_group < kMaxGroups) {
+    // Join the new chain in record-index order (r is already a member of
+    // the index set — the caller's header store resynced it).
+    const auto succ = index.succ(new_group, r);
+    put_link(r, succ ? *succ : kNilLink);
+    if (const auto pred = index.pred(new_group, r)) {
+      put_link(*pred, r);
+    }
+  } else {
+    put_link(r, kNilLink);  // out-of-range group: relink leaves it unlinked
+  }
+}
+
 void free_record(Database& db, TableId t, RecordIndex r) {
   const std::size_t at = db.layout().record_offset(t, r);
   auto region = db.region();

@@ -14,8 +14,26 @@ namespace wtc::db::direct {
 /// Rebuilds the `next` links of every record of table `t` so each group's
 /// chain lists its records in index order (the structural invariant the
 /// structural audit verifies). Records with out-of-range group values are
-/// left unlinked.
+/// left unlinked. O(N_records): the audit's recovery paths use it (and it
+/// doubles as the reference implementation the shadow-index cross-check
+/// and the splice-equivalence bench compare against); the API hot path
+/// uses splice_links instead.
 void relink_table(Database& db, TableId t);
+
+/// Splices record `r` into its group chain after the caller changed its
+/// group word from `old_group` to the value now stored in the region,
+/// rewriting only the affected links: the old chain's predecessor inherits
+/// `old_next` (r's link before the change), r links to its successor in
+/// the new chain, and the new chain's predecessor links to r. Requires the
+/// shadow index to be in sync with the region (the caller's header store
+/// resynced r itself via note_write). Provided the chains satisfied the
+/// structural invariant beforehand, the result is byte-identical to
+/// relink_table — the invariant only depends on group words, a group
+/// change at `r` can only alter those three links, and unchanged words are
+/// not rewritten (so dirty-tracking stamps and oracle overwrite accounting
+/// match too). O(log N_group) via the index instead of O(N_records).
+void splice_links(Database& db, TableId t, RecordIndex r,
+                  std::uint32_t old_group, std::uint32_t old_next);
 
 /// Frees record `r` of table `t` in place: status Free, group 0 (free
 /// list), fields reset to catalog defaults, chains relinked. This is the

@@ -1,0 +1,70 @@
+#include "db/index.hpp"
+
+namespace wtc::db {
+
+void TableIndex::reset(RecordIndex num_records) {
+  for (auto& members : groups_) {
+    members.clear();
+  }
+  free_.clear();
+  group_of_.assign(num_records, kNoGroup);
+  is_free_.assign(num_records, 0);
+}
+
+void TableIndex::sync(RecordIndex r, std::uint32_t status, std::uint32_t group) {
+  const std::uint8_t new_group =
+      group < kMaxGroups ? static_cast<std::uint8_t>(group) : kNoGroup;
+  if (group_of_[r] != new_group) {
+    if (group_of_[r] != kNoGroup) {
+      groups_[group_of_[r]].erase(r);
+    }
+    if (new_group != kNoGroup) {
+      groups_[new_group].insert(r);
+    }
+    group_of_[r] = new_group;
+  }
+  const bool now_free = status == kStatusFree;
+  if (static_cast<bool>(is_free_[r]) != now_free) {
+    if (now_free) {
+      free_.insert(r);
+    } else {
+      free_.erase(r);
+    }
+    is_free_[r] = now_free ? 1 : 0;
+  }
+}
+
+std::optional<RecordIndex> TableIndex::first_free() const noexcept {
+  if (free_.empty()) {
+    return std::nullopt;
+  }
+  return *free_.begin();
+}
+
+std::optional<RecordIndex> TableIndex::pred(std::uint32_t g,
+                                            RecordIndex r) const noexcept {
+  if (g >= kMaxGroups) {
+    return std::nullopt;
+  }
+  const auto& members = groups_[g];
+  auto it = members.lower_bound(r);
+  if (it == members.begin()) {
+    return std::nullopt;
+  }
+  return *std::prev(it);
+}
+
+std::optional<RecordIndex> TableIndex::succ(std::uint32_t g,
+                                            RecordIndex r) const noexcept {
+  if (g >= kMaxGroups) {
+    return std::nullopt;
+  }
+  const auto& members = groups_[g];
+  const auto it = members.upper_bound(r);
+  if (it == members.end()) {
+    return std::nullopt;
+  }
+  return *it;
+}
+
+}  // namespace wtc::db

@@ -1,0 +1,89 @@
+// Shadow group/free indexes over one table's record headers.
+//
+// The database region keeps each logical group's records on a singly
+// linked chain in record-index order (layout.hpp), and the structural
+// audit checks and repairs exactly that invariant. Maintaining it by
+// rebuilding every chain on each alloc/free/move makes every mutating API
+// call O(N_records); finding a free record by scanning headers makes
+// DBalloc O(N_records) again. TableIndex is the fast access path over that
+// slower, audited authoritative structure: an in-memory mirror of the
+// membership information the chains encode — which records are free
+// (status word) and which group each record belongs to (group word) — as
+// ordered sets, so the API can pop the lowest free slot and find a
+// record's chain neighbours in O(log N) and splice only the affected
+// `next` links.
+//
+// The index lives OUTSIDE the audited region (like the redundant metadata
+// of §4.3.3): injected corruption never touches it directly, and it never
+// weakens an audit invariant because it stores no authoritative state —
+// every entry is recomputable from the region's status/group words, which
+// is exactly what rebuild-from-region and the cross-check do. It is kept
+// in sync by Database::mark_written: any store write overlapping a
+// record's status/group words re-reads them and resyncs that record, so
+// API writes, audit repairs, disk reloads, image installs, and the
+// injector's through-store corruption all update it automatically. Only
+// raw corruption that bypasses the store can desync it — the same blind
+// spot the incremental audit's periodic full sweep exists for — and the
+// consumers treat it as advisory: DBalloc validates the popped record's
+// status against the region and rebuilds on mismatch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "db/layout.hpp"
+#include "db/schema.hpp"
+
+namespace wtc::db {
+
+class TableIndex {
+ public:
+  /// Sentinel for "group word out of range": such records are on no chain
+  /// (relink leaves them unlinked) and in no member set.
+  static constexpr std::uint8_t kNoGroup = 0xFF;
+
+  /// Resets to the state of a table whose every record has an out-of-range
+  /// group and a non-free status (i.e. "member of nothing"); callers then
+  /// sync() each record from its region header words.
+  void reset(RecordIndex num_records);
+
+  /// Resyncs record `r` from its region header words. Idempotent; O(log N)
+  /// when membership actually changes, O(1) otherwise.
+  void sync(RecordIndex r, std::uint32_t status, std::uint32_t group);
+
+  /// Lowest-index record whose status word is kStatusFree (what the
+  /// DBalloc scan would find), or nullopt when none.
+  [[nodiscard]] std::optional<RecordIndex> first_free() const noexcept;
+
+  /// Greatest member of group `g` below `r` — the record whose `next` link
+  /// must point at/around `r` when splicing. `r` itself is never returned
+  /// whether or not it is currently a member.
+  [[nodiscard]] std::optional<RecordIndex> pred(std::uint32_t g,
+                                                RecordIndex r) const noexcept;
+  /// Smallest member of group `g` above `r` (r's chain successor).
+  [[nodiscard]] std::optional<RecordIndex> succ(std::uint32_t g,
+                                                RecordIndex r) const noexcept;
+
+  [[nodiscard]] const std::set<RecordIndex>& members(std::uint32_t g) const {
+    return groups_.at(g);
+  }
+  [[nodiscard]] std::size_t free_count() const noexcept { return free_.size(); }
+  /// Cached group of record `r` (kNoGroup for out-of-range group words).
+  [[nodiscard]] std::uint8_t group_of(RecordIndex r) const {
+    return group_of_.at(r);
+  }
+
+  /// Exact-state comparison, used by the full-rebuild cross-check.
+  [[nodiscard]] bool operator==(const TableIndex&) const = default;
+
+ private:
+  std::array<std::set<RecordIndex>, kMaxGroups> groups_;
+  std::set<RecordIndex> free_;
+  std::vector<std::uint8_t> group_of_;  ///< per record; kNoGroup = none
+  std::vector<std::uint8_t> is_free_;   ///< per record; status == kStatusFree
+};
+
+}  // namespace wtc::db

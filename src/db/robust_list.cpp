@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <unordered_set>
 
 namespace wtc::db {
 namespace {
@@ -107,13 +106,16 @@ bool RobustList::remove(std::uint32_t slot) {
 }
 
 std::vector<std::uint32_t> RobustList::forward_chain() const {
+  // Flat slot bitmap for revisit detection: the traversals run on every
+  // robust-structure audit, and a capacity-sized byte vector beats a hash
+  // set's per-node allocation and hashing.
   std::vector<std::uint32_t> chain;
-  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint8_t> seen(capacity_, 0);
   std::uint32_t cursor = head();
-  while (cursor != kNil && cursor < capacity_ && !seen.contains(cursor) &&
+  while (cursor != kNil && cursor < capacity_ && seen[cursor] == 0 &&
          chain.size() <= capacity_) {
     chain.push_back(cursor);
-    seen.insert(cursor);
+    seen[cursor] = 1;
     cursor = load_node(cursor).next;
   }
   return chain;
@@ -121,12 +123,12 @@ std::vector<std::uint32_t> RobustList::forward_chain() const {
 
 std::vector<std::uint32_t> RobustList::backward_chain() const {
   std::vector<std::uint32_t> chain;
-  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint8_t> seen(capacity_, 0);
   std::uint32_t cursor = tail();
-  while (cursor != kNil && cursor < capacity_ && !seen.contains(cursor) &&
+  while (cursor != kNil && cursor < capacity_ && seen[cursor] == 0 &&
          chain.size() <= capacity_) {
     chain.push_back(cursor);
-    seen.insert(cursor);
+    seen[cursor] = 1;
     cursor = load_node(cursor).prev;
   }
   return chain;
@@ -138,20 +140,20 @@ std::optional<std::vector<std::uint32_t>> RobustList::reconstruct_sequence() con
   const auto walk = [&](std::uint32_t start, bool forward) {
     std::pair<std::vector<std::uint32_t>, bool> result;
     auto& [chain, proper] = result;
-    std::unordered_set<std::uint32_t> seen;
+    std::vector<std::uint8_t> seen(capacity_, 0);
     std::uint32_t cursor = start;
     while (true) {
       if (cursor == kNil) {
         proper = true;
         break;
       }
-      if (cursor >= capacity_ || seen.contains(cursor) ||
+      if (cursor >= capacity_ || seen[cursor] != 0 ||
           chain.size() > capacity_) {
         proper = false;
         break;
       }
       chain.push_back(cursor);
-      seen.insert(cursor);
+      seen[cursor] = 1;
       const Node node = load_node(cursor);
       cursor = forward ? node.next : node.prev;
     }
@@ -196,11 +198,14 @@ std::optional<std::vector<std::uint32_t>> RobustList::reconstruct_sequence() con
   // Splice: a single interior pointer corruption leaves an intact forward
   // prefix and an intact backward suffix that partition the membership.
   if (!fwd.empty() || !bwd.empty()) {
-    std::unordered_set<std::uint32_t> fwd_set(fwd.begin(), fwd.end());
+    std::vector<std::uint8_t> in_fwd(capacity_, 0);
+    for (const std::uint32_t slot : fwd) {
+      in_fwd[slot] = 1;
+    }
     // Trim the backward walk to the part disjoint from the forward prefix.
     std::vector<std::uint32_t> suffix;
     for (const std::uint32_t slot : bwd) {
-      if (fwd_set.contains(slot)) {
+      if (in_fwd[slot] != 0) {
         break;
       }
       suffix.push_back(slot);
@@ -227,9 +232,12 @@ std::uint32_t RobustList::rewrite(const std::vector<std::uint32_t>& sequence) {
   put_u32(kOffHead, sequence.empty() ? kNil : sequence.front());
   put_u32(kOffTail, sequence.empty() ? kNil : sequence.back());
 
-  std::unordered_set<std::uint32_t> members(sequence.begin(), sequence.end());
+  std::vector<std::uint8_t> member(capacity_, 0);
+  for (const std::uint32_t slot : sequence) {
+    member[slot] = 1;
+  }
   for (std::uint32_t slot = 0; slot < capacity_; ++slot) {
-    if (!members.contains(slot)) {
+    if (member[slot] == 0) {
       const Node node = load_node(slot);
       const Node want{expected_tag(slot), kNil, kNil};
       if (node.tag != want.tag || node.prev != want.prev ||

@@ -78,6 +78,11 @@ void DbErrorInjector::inject_at(std::size_t offset) {
   if (config_.through_store) {
     // A wild write traverses the memory system like any other store, so
     // dirty tracking sees it (mark only — nothing legitimate about it).
+    // mark_written also resyncs the shadow group index when the flipped
+    // byte lands in a header's status/group words, so the API's splice
+    // path stays coherent with what is actually in the region. Raw-mode
+    // corruption (through_store=false) bypasses that, which is exactly
+    // the stale-index case alloc_rec's validate-and-rebuild handles.
     db_.mark_written(offset, 1);
   }
   oracle_.record_injection(offset, bit);

@@ -28,6 +28,10 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "db.dirty_chunk_stamps",
     "db.scrubs",
     "db.reloads",
+    "db.index_hits",
+    "db.index_splices",
+    "db.index_resyncs",
+    "db.index_rebuilds",
     "audit.checks",
     "audit.findings",
     "audit.passes",

@@ -59,6 +59,10 @@ enum class Counter : std::uint16_t {
   db_dirty_chunk_stamps,
   db_scrubs,
   db_reloads,
+  db_index_hits,
+  db_index_splices,
+  db_index_resyncs,
+  db_index_rebuilds,
   audit_checks,
   audit_findings,
   audit_passes,

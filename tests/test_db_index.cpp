@@ -1,0 +1,283 @@
+// Tests for the shadow group/free index (db/index.hpp) and the O(1)
+// splice hot path built on it: byte-equivalence against the full-relink
+// reference, self-resync through every store write path, and the
+// advisory-index recovery behaviour under raw (store-bypassing)
+// corruption.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "db/api.hpp"
+#include "db/controller_schema.hpp"
+#include "db/direct.hpp"
+#include "obs/metrics.hpp"
+
+namespace wtc::db {
+namespace {
+
+bool regions_equal(const Database& a, const Database& b) {
+  const auto ra = a.region();
+  const auto rb = b.region();
+  return ra.size() == rb.size() &&
+         std::memcmp(ra.data(), rb.data(), ra.size()) == 0;
+}
+
+bool all_indexes_verify(const Database& db) {
+  for (TableId t = 0; t < db.table_count(); ++t) {
+    if (!db.verify_index(t)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class IndexTest : public ::testing::Test {
+ protected:
+  IndexTest()
+      : db_(make_controller_database()),
+        ids_(resolve_controller_ids(db_->schema())),
+        api_(*db_, []() { return sim::Time{0}; }) {
+    api_.init(100);
+  }
+
+  std::unique_ptr<Database> db_;
+  ControllerIds ids_;
+  DbApi api_;
+};
+
+TEST_F(IndexTest, FreshDatabaseIndexMatchesRegion) {
+  EXPECT_TRUE(all_indexes_verify(*db_));
+  // Every dynamic record starts on the free list.
+  const auto total = db_->schema().tables[ids_.process].num_records;
+  EXPECT_EQ(db_->index(ids_.process).free_count(), total);
+  EXPECT_EQ(db_->index(ids_.process).first_free(), std::optional<RecordIndex>{0});
+}
+
+TEST_F(IndexTest, ApiMutationsKeepIndexInSync) {
+  RecordIndex a = 0;
+  RecordIndex b = 0;
+  ASSERT_EQ(api_.alloc_rec(ids_.process, kGroupActiveCalls, a), Status::Ok);
+  ASSERT_EQ(api_.alloc_rec(ids_.process, kGroupActiveCalls, b), Status::Ok);
+  EXPECT_TRUE(db_->verify_index(ids_.process));
+  ASSERT_EQ(api_.move_rec(ids_.process, a, kGroupStableCalls), Status::Ok);
+  EXPECT_TRUE(db_->verify_index(ids_.process));
+  ASSERT_EQ(api_.free_rec(ids_.process, b), Status::Ok);
+  EXPECT_TRUE(db_->verify_index(ids_.process));
+  const auto& index = db_->index(ids_.process);
+  EXPECT_EQ(index.group_of(a), kGroupStableCalls);
+  EXPECT_TRUE(index.members(kGroupActiveCalls).empty());
+}
+
+// The heart of the PR: a randomized alloc/free/move campaign driven
+// identically through a splice-mode API and a full-relink API must keep
+// the two regions byte-identical at every step (the splice is not an
+// approximation of the invariant — it produces the same bytes), and the
+// splice side's shadow index must continuously match its region.
+TEST_F(IndexTest, RandomizedCampaignMatchesFullRelinkByteForByte) {
+  auto relink_db = make_controller_database();
+  DbApi relink_api(*relink_db, []() { return sim::Time{0}; });
+  relink_api.set_link_mode(LinkMode::FullRelink);
+  relink_api.init(100);
+  ASSERT_EQ(api_.link_mode(), LinkMode::Splice);
+  ASSERT_TRUE(regions_equal(*db_, *relink_db));
+
+  common::Rng rng(0xD5171DE5u);
+  const TableId tables[] = {ids_.process, ids_.connection, ids_.resource};
+  std::vector<std::vector<RecordIndex>> active(3);
+  for (int op = 0; op < 2000; ++op) {
+    const auto which = rng.uniform(3);
+    const TableId t = tables[which];
+    auto& live = active[which];
+    const auto kind = rng.uniform(3);
+    if (kind == 0 || live.empty()) {
+      const auto group =
+          rng.uniform(2) == 0 ? kGroupActiveCalls : kGroupStableCalls;
+      RecordIndex r1 = 0;
+      RecordIndex r2 = 0;
+      const Status s1 = api_.alloc_rec(t, group, r1);
+      const Status s2 = relink_api.alloc_rec(t, group, r2);
+      ASSERT_EQ(s1, s2);
+      if (s1 == Status::Ok) {
+        ASSERT_EQ(r1, r2);  // both must pick the lowest-index free slot
+        live.push_back(r1);
+      }
+    } else {
+      const auto pick = rng.uniform(live.size());
+      const RecordIndex r = live[pick];
+      if (kind == 1) {
+        ASSERT_EQ(api_.free_rec(t, r), Status::Ok);
+        ASSERT_EQ(relink_api.free_rec(t, r), Status::Ok);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else {
+        const auto group =
+            rng.uniform(2) == 0 ? kGroupActiveCalls : kGroupStableCalls;
+        ASSERT_EQ(api_.move_rec(t, r, group), Status::Ok);
+        ASSERT_EQ(relink_api.move_rec(t, r, group), Status::Ok);
+      }
+    }
+    ASSERT_TRUE(regions_equal(*db_, *relink_db)) << "after op " << op;
+    if (op % 64 == 0) {
+      ASSERT_TRUE(all_indexes_verify(*db_)) << "after op " << op;
+    }
+  }
+  EXPECT_TRUE(all_indexes_verify(*db_));
+}
+
+TEST_F(IndexTest, IndexRebuiltAfterReloadAndInstallImage) {
+  RecordIndex r = 0;
+  ASSERT_EQ(api_.alloc_rec(ids_.process, kGroupActiveCalls, r), Status::Ok);
+  ASSERT_EQ(api_.alloc_rec(ids_.connection, kGroupActiveCalls, r), Status::Ok);
+
+  // Snapshot the mutated region and install it into a fresh database: the
+  // install goes through the store, so the indexes must match the image.
+  const auto live = db_->region();
+  const std::vector<std::byte> image(live.begin(), live.end());
+  auto other = make_controller_database();
+  ASSERT_TRUE(other->install_image(image));
+  EXPECT_TRUE(all_indexes_verify(*other));
+  EXPECT_EQ(other->index(ids_.process).members(kGroupActiveCalls).size(), 1u);
+
+  // A full reload-from-disk (recovery escalation) rewinds the region to
+  // the pristine image; the resync must follow it back.
+  db_->reload_all_from_disk();
+  EXPECT_TRUE(all_indexes_verify(*db_));
+  EXPECT_TRUE(db_->index(ids_.process).members(kGroupActiveCalls).empty());
+}
+
+TEST_F(IndexTest, AuditHeaderRepairResyncsIndex) {
+  RecordIndex r = 0;
+  ASSERT_EQ(api_.alloc_rec(ids_.process, kGroupActiveCalls, r), Status::Ok);
+
+  // Raw-corrupt the group word (bypassing the store): the region now
+  // disagrees with the index, exactly the blind spot the audit covers.
+  const std::size_t at = db_->layout().record_offset(ids_.process, r);
+  store_u32(db_->region(), at + 8, 7);
+  EXPECT_FALSE(db_->verify_index(ids_.process));
+
+  // The audit's header repair writes through the store; its note_write
+  // must drag the shadow index back into sync with the repaired header.
+  direct::repair_header(*db_, ids_.process, r);
+  EXPECT_TRUE(db_->verify_index(ids_.process));
+}
+
+TEST_F(IndexTest, ThroughStoreCorruptionResyncsIndex) {
+  RecordIndex r = 0;
+  ASSERT_EQ(api_.alloc_rec(ids_.process, kGroupActiveCalls, r), Status::Ok);
+
+  // The injector's through_store mode: flip a bit, then mark_written —
+  // the same path a wild software write takes through the memory system.
+  const std::size_t status_at =
+      db_->layout().record_offset(ids_.process, r) + 4;
+  db_->region()[status_at] ^= std::byte{0x01};
+  db_->mark_written(status_at, 1);
+  EXPECT_TRUE(db_->verify_index(ids_.process));
+}
+
+TEST_F(IndexTest, AllocRecoversFromStaleFreeIndex) {
+  // Raw-corrupt the status word of the lowest free record to "active"
+  // without telling the store: the free index still advertises it. The
+  // splice-mode alloc must detect the lie against the region, rebuild the
+  // index, and hand out a record that really is free.
+  const auto first = db_->index(ids_.process).first_free();
+  ASSERT_TRUE(first.has_value());
+  const std::size_t at = db_->layout().record_offset(ids_.process, *first);
+  store_u32(db_->region(), at + 4, kStatusActive);
+
+  obs::Recorder recorder;
+  RecordIndex r = 0;
+  {
+    obs::ScopedRecorder scoped(recorder);
+    ASSERT_EQ(api_.alloc_rec(ids_.process, kGroupActiveCalls, r), Status::Ok);
+  }
+  EXPECT_NE(r, *first);
+  EXPECT_EQ(load_u32(db_->region(),
+                     db_->layout().record_offset(ids_.process, r) + 4),
+            kStatusActive);
+  EXPECT_EQ(recorder.snapshot().counter(obs::Counter::db_index_rebuilds), 1u);
+  EXPECT_TRUE(db_->verify_index(ids_.process));
+}
+
+TEST_F(IndexTest, CrossCheckModeHealsDesyncBeforeSplice) {
+  RecordIndex a = 0;
+  RecordIndex b = 0;
+  ASSERT_EQ(api_.alloc_rec(ids_.process, kGroupActiveCalls, a), Status::Ok);
+  ASSERT_EQ(api_.alloc_rec(ids_.process, kGroupActiveCalls, b), Status::Ok);
+
+  // Raw-corrupt record a's group word so the index is stale, then mutate
+  // record b with the paranoid cross-check on: the API must notice the
+  // desync, heal the index from the region, and splice correctly.
+  const std::size_t at = db_->layout().record_offset(ids_.process, a);
+  store_u32(db_->region(), at + 8, kGroupStableCalls);
+  db_->set_index_cross_check(true);
+  ASSERT_EQ(api_.move_rec(ids_.process, b, kGroupStableCalls), Status::Ok);
+  EXPECT_TRUE(db_->verify_index(ids_.process));
+  EXPECT_EQ(db_->index(ids_.process).group_of(a), kGroupStableCalls);
+}
+
+TEST_F(IndexTest, AllocExhaustionAndRefillThroughIndex) {
+  const auto total = db_->schema().tables[ids_.connection].num_records;
+  RecordIndex r = 0;
+  for (RecordIndex i = 0; i < total; ++i) {
+    ASSERT_EQ(api_.alloc_rec(ids_.connection, kGroupActiveCalls, r), Status::Ok);
+  }
+  EXPECT_EQ(db_->index(ids_.connection).free_count(), 0u);
+  EXPECT_EQ(api_.alloc_rec(ids_.connection, kGroupActiveCalls, r),
+            Status::NoFreeRecord);
+  ASSERT_EQ(api_.free_rec(ids_.connection, 3), Status::Ok);
+  ASSERT_EQ(api_.alloc_rec(ids_.connection, kGroupActiveCalls, r), Status::Ok);
+  EXPECT_EQ(r, 3u);  // the index hands back the only (lowest) free slot
+  EXPECT_TRUE(db_->verify_index(ids_.connection));
+}
+
+// Satellite: the observer accounting on DBalloc. The splice-mode alloc
+// consults exactly one record header (the popped free slot); the legacy
+// scan reads one header per scanned record. Each must charge the oracle
+// for precisely the headers it actually read.
+class CountingObserver : public RegionObserver {
+ public:
+  void on_legitimate_write(std::size_t, std::size_t) override {}
+  void on_client_read(sim::ProcessId, std::size_t offset, std::size_t len) override {
+    ++reads;
+    last_offset = offset;
+    last_len = len;
+  }
+  int reads = 0;
+  std::size_t last_offset = 0;
+  std::size_t last_len = 0;
+};
+
+TEST_F(IndexTest, SpliceAllocChargesExactlyOneHeaderRead) {
+  RecordIndex r = 0;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(api_.alloc_rec(ids_.process, kGroupActiveCalls, r), Status::Ok);
+  }
+  CountingObserver counting;
+  db_->set_observer(&counting);
+  ASSERT_EQ(api_.alloc_rec(ids_.process, kGroupActiveCalls, r), Status::Ok);
+  db_->set_observer(nullptr);
+  EXPECT_EQ(r, 5u);
+  EXPECT_EQ(counting.reads, 1);
+  EXPECT_EQ(counting.last_offset,
+            db_->layout().record_offset(ids_.process, r) + 4);
+  EXPECT_EQ(counting.last_len, 4u);
+}
+
+TEST_F(IndexTest, FullRelinkAllocChargesOneReadPerScannedHeader) {
+  api_.set_link_mode(LinkMode::FullRelink);
+  RecordIndex r = 0;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(api_.alloc_rec(ids_.process, kGroupActiveCalls, r), Status::Ok);
+  }
+  CountingObserver counting;
+  db_->set_observer(&counting);
+  ASSERT_EQ(api_.alloc_rec(ids_.process, kGroupActiveCalls, r), Status::Ok);
+  db_->set_observer(nullptr);
+  EXPECT_EQ(r, 5u);
+  EXPECT_EQ(counting.reads, 6);  // headers 0..5 scanned, one charge each
+}
+
+}  // namespace
+}  // namespace wtc::db
