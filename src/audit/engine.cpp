@@ -31,6 +31,7 @@ std::string_view technique_name(Technique technique) noexcept {
     case Technique::SelectiveMonitor: return "selective-monitor";
     case Technique::ProgressIndicator: return "progress-indicator";
     case Technique::ElementQuarantine: return "element-quarantine";
+    case Technique::CfAttestation: return "cf-attestation";
   }
   return "?";
 }
@@ -52,6 +53,8 @@ std::string_view to_string(Recovery recovery) noexcept {
     case Recovery::TerminateClientThread: return "terminate-client-thread";
     case Recovery::KillClientProcess: return "kill-client-process";
     case Recovery::DisableElement: return "disable-element";
+    case Recovery::ReenableElement: return "reenable-element";
+    case Recovery::HealThread: return "heal-thread";
   }
   return "?";
 }

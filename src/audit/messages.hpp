@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "audit/report.hpp"
 #include "db/api.hpp"
 #include "sim/node.hpp"
 
@@ -25,6 +26,9 @@ inline constexpr std::uint32_t kApiActivity = 3;
 /// adopts the supervision state so a takeover resumes where the dead
 /// active left off.
 inline constexpr std::uint32_t kPeerHeartbeat = 4;
+/// Detection path -> active manager: a control-flow violation needs
+/// healing. args: {client pid, thread, from_pc, to_pc, time, source}.
+inline constexpr std::uint32_t kCfViolation = 5;
 
 /// Reliable-delivery channel ids (see sim/reliable.hpp): one per logical
 /// stream so dedup state never crosses streams of the same process.
@@ -62,6 +66,32 @@ struct ActivityView {
     view.is_update = message.args[4] != 0;
   }
   return view;
+}
+
+/// Packs a CfViolation into an IPC message for the active manager.
+[[nodiscard]] inline sim::Message make_cf_violation(const CfViolation& v) {
+  sim::Message message;
+  message.type = kCfViolation;
+  message.args = {static_cast<std::uint64_t>(v.client),
+                  static_cast<std::uint64_t>(v.thread),
+                  static_cast<std::uint64_t>(v.from_pc),
+                  static_cast<std::uint64_t>(v.to_pc),
+                  static_cast<std::uint64_t>(v.time),
+                  static_cast<std::uint64_t>(v.source)};
+  return message;
+}
+
+[[nodiscard]] inline CfViolation view_cf_violation(const sim::Message& message) {
+  CfViolation v;
+  if (message.args.size() >= 6) {
+    v.client = static_cast<sim::ProcessId>(message.args[0]);
+    v.thread = static_cast<std::uint32_t>(message.args[1]);
+    v.from_pc = static_cast<std::uint32_t>(message.args[2]);
+    v.to_pc = static_cast<std::uint32_t>(message.args[3]);
+    v.time = static_cast<sim::Time>(message.args[4]);
+    v.source = static_cast<CfSource>(message.args[5]);
+  }
+  return v;
 }
 
 }  // namespace wtc::audit::msg

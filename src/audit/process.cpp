@@ -5,6 +5,7 @@
 #include "audit/messages.hpp"
 #include "common/log.hpp"
 #include "db/direct.hpp"
+#include "obs/metrics.hpp"
 
 namespace wtc::audit {
 
@@ -143,6 +144,45 @@ void AuditProcess::note_element_fault(ElementSlot& slot) {
   finding.recovery = Recovery::DisableElement;
   finding.time = now;
   engine_.report_external(finding);
+
+  if (config_.quarantine_reenable) {
+    // Reversible degradation: after a clean quarantine window (trivially
+    // clean — a disabled element cannot fault), put the element back in
+    // service with a fresh fault history.
+    AuditElement* element = slot.element.get();
+    schedule_after(config_.quarantine_window,
+                   [this, element]() { reenable_element(element); });
+  }
+}
+
+void AuditProcess::reenable_element(AuditElement* element) {
+  for (auto& slot : elements_) {
+    if (slot.element.get() != element) {
+      continue;
+    }
+    if (!slot.disabled) {
+      return;
+    }
+    slot.disabled = false;
+    slot.fault_times.clear();
+    ++reenabled_;
+    obs::count(obs::Counter::audit_element_reenabled);
+    common::log(common::LogLevel::Info, "audit", "element '",
+                slot.element->name(), "' re-enabled after cooldown");
+    Finding finding;
+    finding.technique = Technique::ElementQuarantine;
+    finding.recovery = Recovery::ReenableElement;
+    finding.time = node().now();
+    engine_.report_external(finding);
+    // Restart the element's self-scheduled work; a throw during restart
+    // counts as a fresh element fault.
+    try {
+      slot.element->on_start(*this);
+    } catch (...) {
+      note_element_fault(slot);
+    }
+    return;
+  }
 }
 
 bool AuditProcess::element_disabled(std::string_view name) const {

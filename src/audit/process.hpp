@@ -95,6 +95,9 @@ struct AuditProcessConfig {
   bool quarantine = true;
   std::uint32_t quarantine_max_faults = 3;
   sim::Duration quarantine_window = 10 * static_cast<sim::Duration>(sim::kSecond);
+  /// Reversible degradation: a quarantined element is re-enabled (fault
+  /// history cleared, on_start re-run) after a clean quarantine_window.
+  bool quarantine_reenable = true;
 };
 
 class AuditProcess final : public sim::Process {
@@ -122,6 +125,8 @@ class AuditProcess final : public sim::Process {
   /// Elements currently quarantined / element faults caught so far.
   [[nodiscard]] std::uint32_t quarantined_count() const noexcept;
   [[nodiscard]] std::uint64_t element_faults() const noexcept { return faults_; }
+  /// Cooldown re-enables performed so far.
+  [[nodiscard]] std::uint32_t reenabled_count() const noexcept { return reenabled_; }
 
   [[nodiscard]] AuditEngine& engine() noexcept { return engine_; }
   [[nodiscard]] db::Database& database() noexcept { return db_; }
@@ -154,6 +159,7 @@ class AuditProcess final : public sim::Process {
 
   void dispatch(const sim::Message& message);
   void note_element_fault(ElementSlot& slot);
+  void reenable_element(AuditElement* element);
 
   db::Database& db_;
   sim::Cpu& cpu_;
@@ -169,6 +175,7 @@ class AuditProcess final : public sim::Process {
   std::uint64_t cycles_ = 0;
   sim::Duration total_cost_ = 0;
   std::uint64_t faults_ = 0;
+  std::uint32_t reenabled_ = 0;
 };
 
 // --- standard elements ---

@@ -19,6 +19,7 @@ enum class Technique : std::uint8_t {
   SelectiveMonitor,   ///< runtime-derived invariants (§4.4.2)
   ProgressIndicator,  ///< database deadlock detection (§4.2)
   ElementQuarantine,  ///< audit main thread caught a faulty element
+  CfAttestation,      ///< control-flow log attestation (ACFA-style)
 };
 
 /// Which recovery action accompanied the detection.
@@ -32,6 +33,8 @@ enum class Recovery : std::uint8_t {
   TerminateClientThread,  ///< offending client thread terminated
   KillClientProcess,      ///< lock-holding client killed (progress indicator)
   DisableElement,         ///< repeatedly-crashing audit element quarantined
+  ReenableElement,        ///< quarantined element restored after cooldown
+  HealThread,             ///< CF-violating thread healed (restore+replay+restart)
 };
 
 [[nodiscard]] std::string_view to_string(Technique technique) noexcept;
@@ -68,6 +71,36 @@ class ClientControl {
   virtual void terminate_client_thread(sim::ProcessId client,
                                        std::uint32_t thread_id) = 0;
   virtual void kill_client_process(sim::ProcessId client) = 0;
+};
+
+/// Who detected a control-flow violation.
+enum class CfSource : std::uint8_t {
+  Preemptive,   ///< PECOS assertion block trapped the transfer pre-retire
+  Attestation,  ///< the CF-log attestation slice flagged a retired transfer
+};
+
+/// One detected illegal control transfer, routed to the active manager
+/// for healing (either from the preemptive monitor's trap handler or from
+/// the attestation element).
+struct CfViolation {
+  sim::ProcessId client = sim::kNoProcess;
+  std::uint32_t thread = 0;
+  std::uint32_t from_pc = 0;
+  std::uint32_t to_pc = 0;
+  sim::Time time = 0;  ///< sim time of the offending transfer
+  CfSource source = CfSource::Preemptive;
+};
+
+/// Healing hooks the client process exposes to the manager's healer: the
+/// thread-surgery half of the heal sequence (the database half goes
+/// through the audit recovery machinery).
+class HealableClient {
+ public:
+  virtual ~HealableClient() = default;
+  /// Stops the offending thread (it stays down while records restore).
+  virtual void heal_terminate_thread(std::uint32_t thread_id) = 0;
+  /// Restarts the thread at a clean entry with pristine program text.
+  virtual void heal_restart_thread(std::uint32_t thread_id) = 0;
 };
 
 }  // namespace wtc::audit

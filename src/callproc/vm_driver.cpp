@@ -23,15 +23,19 @@ void VmClientDriver::on_start() {
   for (std::uint32_t t = 0; t < config_.threads; ++t) {
     vmp_->spawn_thread(vmp_->pristine().entry);
   }
+  heal_pending_.assign(vmp_->thread_count(), false);
   schedule_after(0, [this]() { pump(); });
 }
 
 void VmClientDriver::on_stopped() {
-  // Process killed (progress-indicator recovery or harness): all threads
-  // die with it; held locks are the killer's problem, as in a real crash.
+  // Process killed (progress-indicator recovery, heal escalation, or
+  // harness): all threads die with it; held locks are the killer's
+  // problem, as in a real crash. Parked threads die too — they are no
+  // longer awaiting a heal.
   for (std::uint32_t t = 0; t < vmp_->thread_count(); ++t) {
     vmp_->terminate_thread(t);
   }
+  heal_pending_.assign(heal_pending_.size(), false);
   finished_ = true;
 }
 
@@ -39,6 +43,11 @@ bool VmClientDriver::all_terminal() const {
   for (std::uint32_t t = 0; t < vmp_->thread_count(); ++t) {
     const auto state = vmp_->thread(t).state();
     if (state == vm::ThreadState::Runnable || state == vm::ThreadState::Sleeping) {
+      return false;
+    }
+    // A heal-pending thread is parked, not done: the manager's healer will
+    // restart it.
+    if (t < heal_pending_.size() && heal_pending_[t]) {
       return false;
     }
   }
@@ -90,6 +99,11 @@ void VmClientDriver::pump() {
       finished_ = true;
       return;
     }
+    if (earliest_wake == UINT64_MAX) {
+      // Nothing to run and nothing sleeping: the only live threads are
+      // heal-pending. heal_restart_thread re-arms the pump.
+      return;
+    }
     // Everyone is sleeping: resume at the earliest wake-up.
     schedule_after(static_cast<sim::Duration>(earliest_wake - now_time),
                    [this]() { pump(); });
@@ -110,7 +124,23 @@ void VmClientDriver::pump() {
       if (!first_pecos_time_) {
         first_pecos_time_ = now();
       }
-      vmp_->terminate_thread(t);
+      if (violation_handler_) {
+        // Healing mode: park the thread and route the violation to the
+        // active manager; its healer terminates, repairs, and restarts.
+        if (t < heal_pending_.size()) {
+          heal_pending_[t] = true;
+        }
+        audit::CfViolation violation;
+        violation.client = pid();
+        violation.thread = t;
+        violation.from_pc = thread.pc();
+        violation.to_pc = 0;  // trapped pre-transfer; no landing happened
+        violation.time = now();
+        violation.source = audit::CfSource::Preemptive;
+        violation_handler_(violation);
+      } else {
+        vmp_->terminate_thread(t);
+      }
     } else {
       crash(thread.trap());
       return;
@@ -141,6 +171,36 @@ void VmClientDriver::control_terminate_thread(std::uint32_t thread_id) {
     ++terminated_by_audit_;
     vmp_->terminate_thread(thread_id);
   }
+}
+
+void VmClientDriver::heal_terminate_thread(std::uint32_t thread_id) {
+  if (thread_id < vmp_->thread_count()) {
+    vmp_->terminate_thread(thread_id);
+  }
+}
+
+void VmClientDriver::heal_restart_thread(std::uint32_t thread_id) {
+  if (crashed_ || thread_id >= vmp_->thread_count()) {
+    return;  // the process died in the meantime; nothing to restart
+  }
+  if (thread_id < heal_pending_.size()) {
+    heal_pending_[thread_id] = false;
+  }
+  // Pristine text + disarmed fetch redirect guarantee the restarted thread
+  // cannot re-trip over the same corruption.
+  vmp_->restore_text_from_pristine();
+  vmp_->reset_thread(thread_id, vmp_->pristine().entry);
+  ++heals_completed_;
+  finished_ = false;
+  schedule_after(0, [this]() { pump(); });
+}
+
+std::uint32_t VmClientDriver::heal_pending_count() const noexcept {
+  std::uint32_t n = 0;
+  for (const bool pending : heal_pending_) {
+    n += pending ? 1u : 0u;
+  }
+  return n;
 }
 
 }  // namespace wtc::callproc

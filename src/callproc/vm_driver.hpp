@@ -13,9 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
+#include "audit/report.hpp"
 #include "callproc/control.hpp"
 #include "common/rng.hpp"
 #include "db/api.hpp"
@@ -33,7 +36,9 @@ struct VmDriverConfig {
   std::uint64_t max_instructions_per_thread = 50'000;
 };
 
-class VmClientDriver final : public sim::Process, public ControllableClient {
+class VmClientDriver final : public sim::Process,
+                             public ControllableClient,
+                             public audit::HealableClient {
  public:
   VmClientDriver(vm::Program program, db::Database& db, sim::Cpu& cpu,
                  common::Rng rng, VmDriverConfig config,
@@ -44,6 +49,26 @@ class VmClientDriver final : public sim::Process, public ControllableClient {
 
   /// Semantic-audit recovery: terminate one client thread.
   void control_terminate_thread(std::uint32_t thread_id) override;
+
+  /// Healing (ACFA mode): when set, a preemptive PECOS detection does NOT
+  /// terminate the thread — it is parked heal-pending and the violation is
+  /// routed to the handler (which forwards it to the active manager). The
+  /// manager's healer then drives the HealableClient hooks below.
+  void set_violation_handler(
+      std::function<void(const audit::CfViolation&)> handler) {
+    violation_handler_ = std::move(handler);
+  }
+
+  // --- audit::HealableClient ---
+  void heal_terminate_thread(std::uint32_t thread_id) override;
+  void heal_restart_thread(std::uint32_t thread_id) override;
+
+  /// Threads currently parked awaiting a heal (nonzero at end-of-run means
+  /// a detected violation was never healed).
+  [[nodiscard]] std::uint32_t heal_pending_count() const noexcept;
+  [[nodiscard]] std::uint32_t heals_completed() const noexcept {
+    return heals_completed_;
+  }
 
   [[nodiscard]] vm::VmProcess& vmp() noexcept { return *vmp_; }
   [[nodiscard]] const vm::VmProcess& vmp() const noexcept { return *vmp_; }
@@ -83,6 +108,9 @@ class VmClientDriver final : public sim::Process, public ControllableClient {
   db::DbApi api_;
   std::unique_ptr<vm::VmProcess> vmp_;
   vm::ExecMonitor* monitor_;
+  std::function<void(const audit::CfViolation&)> violation_handler_;
+  std::vector<bool> heal_pending_;
+  std::uint32_t heals_completed_ = 0;
   std::uint32_t cursor_ = 0;
   bool crashed_ = false;
   bool finished_ = false;

@@ -124,7 +124,8 @@ Status DbApi::check_lock(TableId t, bool& auto_locked) {
   return info->owner == pid_ ? Status::Ok : Status::Locked;
 }
 
-void DbApi::notify(ApiOp op, TableId t, RecordIndex r, bool is_update) {
+void DbApi::notify(ApiOp op, TableId t, RecordIndex r, bool is_update,
+                   std::uint32_t group, Status status) {
   if (sink_ == nullptr) {
     return;
   }
@@ -135,11 +136,15 @@ void DbApi::notify(ApiOp op, TableId t, RecordIndex r, bool is_update) {
   event.record = r;
   event.time = clock_();
   event.is_update = is_update;
+  event.status = status;
+  event.thread = thread_id_;
+  event.group = group;
   sink_->on_api_event(event);
 }
 
 void DbApi::notify_update(ApiOp op, TableId t, RecordIndex r,
-                          std::size_t record_at, std::uint32_t num_fields) {
+                          std::size_t record_at, std::uint32_t num_fields,
+                          FieldId field, std::uint32_t group, Status status) {
   if (sink_ == nullptr) {
     return;
   }
@@ -150,6 +155,10 @@ void DbApi::notify_update(ApiOp op, TableId t, RecordIndex r,
   event.record = r;
   event.time = clock_();
   event.is_update = true;
+  event.status = status;
+  event.thread = thread_id_;
+  event.group = group;
+  event.field = field;
   const auto n =
       std::min<std::uint32_t>(num_fields,
                               static_cast<std::uint32_t>(event.payload.size()));
@@ -288,7 +297,7 @@ Status DbApi::write_rec(TableId t, RecordIndex r, std::span<const std::int32_t> 
     db_.unlock(t, pid_);
   }
   touch_meta(t, r, true);
-  notify_update(ApiOp::WriteRec, t, r, at, desc.num_fields);
+  notify_update(ApiOp::WriteRec, t, r, at, desc.num_fields, 0, 0, result);
   return result;
 }
 
@@ -325,7 +334,7 @@ Status DbApi::write_fld(TableId t, RecordIndex r, FieldId f, std::int32_t value)
   touch_meta(t, r, true);
   // A single-field update event carries just the written field.
   notify_update(ApiOp::WriteFld, t, r,
-                at + static_cast<std::size_t>(f) * 4, 1);
+                at + static_cast<std::size_t>(f) * 4, 1, f, 0, result);
   return result;
 }
 
@@ -386,7 +395,7 @@ Status DbApi::move_rec(TableId t, RecordIndex r, std::uint32_t target_group) {
     db_.unlock(t, pid_);
   }
   touch_meta(t, r, true);
-  notify_update(ApiOp::Move, t, r, at, desc.num_fields);
+  notify_update(ApiOp::Move, t, r, at, desc.num_fields, 0, target_group, result);
   return result;
 }
 
@@ -477,7 +486,7 @@ Status DbApi::alloc_rec(TableId t, std::uint32_t group, RecordIndex& out) {
   if (auto_locked) {
     db_.unlock(t, pid_);
   }
-  notify(ApiOp::Alloc, t, out, true);
+  notify(ApiOp::Alloc, t, out, true, group, result);
   return result;
 }
 
@@ -524,7 +533,7 @@ Status DbApi::free_rec(TableId t, RecordIndex r) {
   if (auto_locked) {
     db_.unlock(t, pid_);
   }
-  notify(ApiOp::Free, t, r, true);
+  notify(ApiOp::Free, t, r, true, 0, result);
   return result;
 }
 

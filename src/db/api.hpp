@@ -68,6 +68,15 @@ struct ApiEvent {
   RecordIndex record = 0;
   sim::Time time = 0;
   bool is_update = false;  ///< write-class op (triggers event audit)
+  /// Outcome of the call — replay consumers skip failed (no-op) updates.
+  Status status = Status::Ok;
+  /// Client thread that issued the call (set_thread_id attribution) — the
+  /// per-thread op log keys on this for healing replay.
+  std::uint32_t thread = 0;
+  /// Alloc/Move: the target logical group of the operation.
+  std::uint32_t group = 0;
+  /// WriteFld: the written field id.
+  FieldId field = 0;
   std::array<std::int32_t, 8> payload{};
   std::uint8_t payload_len = 0;
 };
@@ -147,10 +156,12 @@ class DbApi {
   /// Lock acquisition for a single op: owner passes, free table passes
   /// (auto-scope), foreign owner fails.
   Status check_lock(TableId t, bool& auto_locked);
-  void notify(ApiOp op, TableId t, RecordIndex r, bool is_update);
+  void notify(ApiOp op, TableId t, RecordIndex r, bool is_update,
+              std::uint32_t group = 0, Status status = Status::Ok);
   /// Update notification with a snapshot of the record's current data.
   void notify_update(ApiOp op, TableId t, RecordIndex r, std::size_t record_at,
-                     std::uint32_t num_fields);
+                     std::uint32_t num_fields, FieldId field = 0,
+                     std::uint32_t group = 0, Status status = Status::Ok);
   void touch_meta(TableId t, RecordIndex r, bool is_write);
   /// Rebuilds the `next` links of every record of table `t` so each chain
   /// lists its group's records in index order (the structural invariant

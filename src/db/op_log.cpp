@@ -1,0 +1,77 @@
+#include "db/op_log.hpp"
+
+#include <algorithm>
+
+namespace wtc::db {
+namespace {
+
+const std::vector<ApiEvent> kEmpty;
+
+bool same_record(const ApiEvent& a, const ApiEvent& b) {
+  return a.table == b.table && a.record == b.record;
+}
+
+}  // namespace
+
+void ThreadOpLog::on_api_event(const ApiEvent& event) {
+  if (event.is_update && event.status == Status::Ok) {
+    if (logs_.size() <= event.thread) {
+      logs_.resize(event.thread + 1);
+    }
+    logs_[event.thread].ops.push_back(event);
+    ++recorded_;
+  }
+  if (next_ != nullptr) {
+    next_->on_api_event(event);
+  }
+}
+
+const std::vector<ApiEvent>& ThreadOpLog::ops(std::uint32_t thread) const {
+  return thread < logs_.size() ? logs_[thread].ops : kEmpty;
+}
+
+void ThreadOpLog::advance_watermark(std::uint32_t thread,
+                                    sim::Time attested_up_to) {
+  if (thread >= logs_.size()) {
+    return;
+  }
+  PerThread& log = logs_[thread];
+  if (attested_up_to <= log.watermark) {
+    return;
+  }
+  log.watermark = attested_up_to;
+
+  // Compact the attested prefix: for every (table, record) keep only the
+  // last attested op, and drop records the thread no longer holds (latest
+  // attested op is a Free). The unattested tail is kept verbatim.
+  const auto tail_begin = std::find_if(
+      log.ops.begin(), log.ops.end(),
+      [&](const ApiEvent& op) { return op.time > attested_up_to; });
+  std::vector<ApiEvent> compacted;
+  for (auto it = log.ops.begin(); it != tail_begin; ++it) {
+    bool is_last = true;
+    for (auto later = std::next(it); later != tail_begin; ++later) {
+      if (same_record(*it, *later)) {
+        is_last = false;
+        break;
+      }
+    }
+    if (is_last && it->op != ApiOp::Free) {
+      compacted.push_back(*it);
+    }
+  }
+  compacted.insert(compacted.end(), tail_begin, log.ops.end());
+  log.ops = std::move(compacted);
+}
+
+sim::Time ThreadOpLog::watermark(std::uint32_t thread) const noexcept {
+  return thread < logs_.size() ? logs_[thread].watermark : 0;
+}
+
+void ThreadOpLog::clear_thread(std::uint32_t thread) {
+  if (thread < logs_.size()) {
+    logs_[thread].ops.clear();
+  }
+}
+
+}  // namespace wtc::db

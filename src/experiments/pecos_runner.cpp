@@ -3,13 +3,19 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "audit/cf_attest.hpp"
+#include "audit/messages.hpp"
 #include "callproc/control.hpp"
 #include "experiments/campaign.hpp"
 #include "callproc/vm_driver.hpp"
 #include "callproc/vm_program.hpp"
 #include "db/controller_schema.hpp"
+#include "db/op_log.hpp"
 #include "inject/oracle.hpp"
+#include "manager/healer.hpp"
+#include "manager/manager.hpp"
 #include "pecos/bssc.hpp"
+#include "pecos/cf_log.hpp"
 #include "pecos/monitor.hpp"
 #include "sim/cpu.hpp"
 #include "sim/scheduler.hpp"
@@ -30,24 +36,7 @@ PecosRunResult run_pecos_single(const PecosRunParams& params) {
   db.set_observer(&oracle);
   callproc::ClientDirectory directory(node, db);
 
-  // Audit process (no manager: these runs are short and the audit process
-  // itself is not an injection target here).
-  sim::ProcessId audit_pid = sim::kNoProcess;
-  std::shared_ptr<audit::AuditProcess> audit_process;
-  if (params.audit) {
-    audit::AuditProcessConfig audit_cfg;
-    audit_cfg.period = params.audit_period;
-    audit_cfg.event_triggered = true;
-    audit_cfg.progress_timeout = 5 * static_cast<sim::Duration>(sim::kSecond);
-    audit_cfg.engine.recent_write_grace =
-        100 * static_cast<sim::Duration>(sim::kMillisecond);
-    audit_process = std::make_shared<audit::AuditProcess>(db, cpu, audit_cfg,
-                                                          &oracle, &directory);
-    audit_pid = node.spawn("audit", audit_process);
-  }
-  audit::IpcNotificationSink sink(node, [&audit_pid]() { return audit_pid; });
-
-  // The MiniVM client, optionally instrumented with PECOS.
+  // The MiniVM client's program, optionally instrumented with PECOS.
   callproc::VmProgramParams prog_params;
   prog_params.ids = ids;
   prog_params.num_subscribers =
@@ -58,37 +47,154 @@ PecosRunResult run_pecos_single(const PecosRunParams& params) {
   std::optional<pecos::Plan> plan;
   std::optional<pecos::BsscPlan> bssc_plan;
   std::unique_ptr<vm::ExecMonitor> monitor;
+  pecos::PecosMonitor* pecos_monitor = nullptr;
+  pecos::PostCheckMonitor* postcheck_monitor = nullptr;
   switch (params.cfc) {
     case CfcMode::None:
       break;
-    case CfcMode::Pecos:
+    case CfcMode::Pecos: {
       plan.emplace(pecos::Plan::instrument(program));
-      monitor = std::make_unique<pecos::PecosMonitor>(*plan);
+      auto m = std::make_unique<pecos::PecosMonitor>(*plan);
+      pecos_monitor = m.get();
+      monitor = std::move(m);
       break;
-    case CfcMode::PostCheck:
+    }
+    case CfcMode::PostCheck: {
       plan.emplace(pecos::Plan::instrument(program));
-      monitor = std::make_unique<pecos::PostCheckMonitor>(*plan);
+      auto m = std::make_unique<pecos::PostCheckMonitor>(*plan);
+      postcheck_monitor = m.get();
+      monitor = std::move(m);
       break;
+    }
     case CfcMode::Bssc:
       bssc_plan.emplace(pecos::BsscPlan::instrument(program));
       monitor = std::make_unique<pecos::BsscMonitor>(*bssc_plan);
       break;
   }
 
+  // ACFA needs the CFG plan, so it rides the Pecos/PostCheck modes only.
+  const bool cf_attest_active = params.cf_attest && plan.has_value();
+  const bool heal_active = params.heal && plan.has_value();
+
+  std::optional<pecos::CfLog> cf_log;
+  if (cf_attest_active || heal_active) {
+    cf_log.emplace(params.cf_log_capacity);
+    if (pecos_monitor != nullptr) {
+      pecos_monitor->set_cf_log(&*cf_log);
+    } else if (postcheck_monitor != nullptr) {
+      postcheck_monitor->set_cf_log(&*cf_log);
+    }
+  }
+
+  // Audit process. The attestation element lives here, so ACFA runs bring
+  // up a (minimal, if params.audit is off) audit process; healing
+  // additionally brings up the duplicated manager pair to route
+  // violations through the active manager.
+  sim::ProcessId audit_pid = sim::kNoProcess;
+  sim::ProcessId client_pid = sim::kNoProcess;
+  std::shared_ptr<audit::AuditProcess> audit_process;
+  audit::CfAttestElement* attest_element = nullptr;
+  std::function<void(const audit::CfViolation&)> violation_route;
+  if (params.audit || cf_attest_active) {
+    audit::AuditProcessConfig audit_cfg;
+    audit_cfg.period = params.audit_period;
+    audit_cfg.event_triggered = params.audit;
+    audit_cfg.periodic_enabled = params.audit;
+    audit_cfg.progress_indicator = params.audit;
+    audit_cfg.progress_timeout = 5 * static_cast<sim::Duration>(sim::kSecond);
+    audit_cfg.engine.recent_write_grace =
+        100 * static_cast<sim::Duration>(sim::kMillisecond);
+    audit_process = std::make_shared<audit::AuditProcess>(db, cpu, audit_cfg,
+                                                          &oracle, &directory);
+    if (cf_attest_active) {
+      audit::CfAttestConfig attest_cfg;
+      attest_cfg.slice_period = params.slice_period;
+      auto element = std::make_unique<audit::CfAttestElement>(
+          *cf_log, *plan, attest_cfg, [&client_pid]() { return client_pid; },
+          heal_active ? std::function<void(const audit::CfViolation&)>(
+                            [&violation_route](const audit::CfViolation& v) {
+                              if (violation_route) {
+                                violation_route(v);
+                              }
+                            })
+                      : std::function<void(const audit::CfViolation&)>());
+      attest_element = element.get();
+      // Registered before the spawn so on_start arms the slice timer.
+      audit_process->add_element(std::move(element));
+    }
+    audit_pid = node.spawn("audit", audit_process);
+  }
+  audit::IpcNotificationSink sink(node, [&audit_pid]() { return audit_pid; });
+
+  // Per-thread op log (healing replay feed): tees the instrumented API's
+  // notifications, so the audit process sees exactly what it saw before.
+  std::optional<db::ThreadOpLog> op_log;
+  db::NotificationSink* driver_sink = params.audit ? &sink : nullptr;
+  if (heal_active) {
+    op_log.emplace(params.audit ? &sink : nullptr);
+    driver_sink = &*op_log;
+    if (attest_element != nullptr) {
+      attest_element->set_op_log(&*op_log);
+    }
+  }
+
   callproc::VmDriverConfig driver_cfg;
   driver_cfg.threads = params.threads;
   auto driver = std::make_shared<callproc::VmClientDriver>(
-      program, db, cpu, rng.fork(7), driver_cfg,
-      params.audit ? &sink : nullptr, monitor.get());
-  const sim::ProcessId client_pid = node.spawn("client", driver);
+      program, db, cpu, rng.fork(7), driver_cfg, driver_sink, monitor.get());
+  client_pid = node.spawn("client", driver);
   directory.register_client(client_pid, driver.get());
+
+  // Healing: duplicated manager pair + the healer, with both detection
+  // paths (preemptive trap, attestation slice) routed to whichever manager
+  // is active when the violation report arrives.
+  std::optional<manager::ManagerPair> managers;
+  std::optional<manager::CfHealer> healer;
+  if (heal_active) {
+    managers = manager::spawn_manager_pair(node,
+                                           [&audit_pid]() { return audit_pid; });
+    healer.emplace(db, *op_log, *cf_log, *driver, &directory, &oracle,
+                   [&scheduler]() { return scheduler.now(); });
+    managers->first->set_healer(&*healer);
+    managers->second->set_healer(&*healer);
+    violation_route = [&node, &managers](const audit::CfViolation& v) {
+      const manager::Manager& active = managers->active(node);
+      const sim::ProcessId to = &active == managers->first.get()
+                                    ? managers->first_pid
+                                    : managers->second_pid;
+      node.send(to, audit::msg::make_cf_violation(v));
+    };
+    driver->set_violation_handler(
+        [&violation_route](const audit::CfViolation& v) {
+          if (violation_route) {
+            violation_route(v);
+          }
+        });
+  }
 
   inject::ClientErrorInjector injector(driver->vmp(), scheduler, rng.fork(9),
                                        params.injector);
   injector.arm();
 
   const auto deadline = static_cast<sim::Time>(params.deadline);
-  while (!driver->finished() && scheduler.now() < deadline && scheduler.step()) {
+  std::optional<sim::Time> client_done;
+  while (scheduler.now() < deadline) {
+    if (!driver->finished()) {
+      client_done.reset();
+    } else if (!client_done) {
+      client_done = scheduler.now();
+    }
+    // With attestation on, drain one extra slice period past client
+    // completion so transfers logged at the very end are still attested
+    // (and, in the healing arm, healed — which un-finishes the client).
+    if (client_done &&
+        (!cf_attest_active ||
+         scheduler.now() > *client_done + static_cast<sim::Time>(params.slice_period))) {
+      break;
+    }
+    if (!scheduler.step()) {
+      break;
+    }
   }
 
   // --- gather the run's evidence (Table 7) ---
@@ -126,6 +232,23 @@ PecosRunResult run_pecos_single(const PecosRunParams& params) {
   result.crashed = driver->crashed();
   result.audit_findings = oracle.audit_findings();
   result.hung_threads = driver->hung_threads();
+  result.first_pecos_time = driver->first_pecos_time();
+  if (cf_log) {
+    result.cf_transitions_logged = cf_log->recorded();
+  }
+  if (attest_element != nullptr) {
+    result.attest_slices = attest_element->slices();
+    result.attest_detections = attest_element->violations();
+    result.first_attest_time = attest_element->first_violation_time();
+    result.max_attest_latency_us = attest_element->max_detection_latency_us();
+  }
+  if (healer) {
+    result.heals = static_cast<std::uint32_t>(healer->heals());
+    result.heal_escalations = static_cast<std::uint32_t>(healer->escalations());
+  }
+  result.unhealed_violation =
+      heal_active && !driver->crashed() && driver->heal_pending_count() > 0;
+  result.completed = driver->finished() && !driver->crashed();
   return result;
 }
 

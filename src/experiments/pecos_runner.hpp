@@ -30,6 +30,18 @@ struct PecosRunParams {
   /// Audit period compressed to match the shorter runs.
   sim::Duration audit_period = 1 * static_cast<sim::Duration>(sim::kSecond);
   std::uint64_t seed = 1;
+
+  // --- ACFA extensions (PECOS/PostCheck modes only; both need the CFG
+  // plan): CF-log attestation and guaranteed healing ---
+  /// Stream retired control transfers into a per-thread CF log and attest
+  /// them against the plan every `slice_period` (detection latency is
+  /// bounded by the period; a full log forces an early slice).
+  bool cf_attest = false;
+  sim::Duration slice_period = 100 * static_cast<sim::Duration>(sim::kMillisecond);
+  /// Route CF violations (preemptive and attested) to the active manager,
+  /// whose healer restores + replays the thread's records and restarts it.
+  bool heal = false;
+  std::uint32_t cf_log_capacity = 256;
 };
 
 struct PecosRunResult {
@@ -40,6 +52,23 @@ struct PecosRunResult {
   bool crashed = false;
   std::uint64_t audit_findings = 0;
   std::uint32_t hung_threads = 0;
+
+  // --- ACFA evidence ---
+  std::uint64_t cf_transitions_logged = 0;
+  std::uint64_t attest_slices = 0;
+  /// Violations flagged by the attestation element (deferred detections).
+  std::uint64_t attest_detections = 0;
+  std::optional<sim::Time> first_pecos_time;
+  std::optional<sim::Time> first_attest_time;
+  /// Worst detection latency over the run's attested violations (µs).
+  std::uint64_t max_attest_latency_us = 0;
+  std::uint32_t heals = 0;
+  std::uint32_t heal_escalations = 0;
+  /// A violation was detected but its thread was never healed (healing
+  /// arm only; the A13 bench asserts this never happens).
+  bool unhealed_violation = false;
+  /// Client ran to completion without crashing.
+  bool completed = false;
 };
 
 [[nodiscard]] PecosRunResult run_pecos_single(const PecosRunParams& params);

@@ -4,6 +4,7 @@
 
 #include "audit/messages.hpp"
 #include "common/log.hpp"
+#include "manager/healer.hpp"
 #include "obs/metrics.hpp"
 
 namespace wtc::manager {
@@ -175,6 +176,14 @@ void Manager::on_message(const sim::Message& message) {
     handle_reply(inner);
   } else if (inner.type == audit::msg::kPeerHeartbeat) {
     handle_peer_heartbeat(inner);
+  } else if (inner.type == audit::msg::kCfViolation) {
+    // Healing is the active manager's job; a standby receiving the report
+    // (e.g. mid-takeover) drops it — the detection path re-reports on the
+    // next attestation slice if the thread is still wedged.
+    if (role_ == Role::Active && healer_ != nullptr) {
+      ++violations_routed_;
+      healer_->heal(audit::msg::view_cf_violation(inner));
+    }
   }
 }
 

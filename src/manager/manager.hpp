@@ -33,6 +33,8 @@
 
 namespace wtc::manager {
 
+class CfHealer;
+
 enum class Role : std::uint8_t { Active, Standby };
 
 struct ManagerConfig {
@@ -59,6 +61,14 @@ class Manager final : public sim::Process {
 
   /// Wires the duplicated peer (normally via spawn_manager_pair).
   void set_peer(sim::ProcessId peer) noexcept { peer_ = peer; }
+
+  /// Wires the CF healer; kCfViolation messages are honored by whichever
+  /// manager is *active* when they arrive (both members of the pair share
+  /// one healer, like they share the spawn_audit factory).
+  void set_healer(CfHealer* healer) noexcept { healer_ = healer; }
+  [[nodiscard]] std::uint64_t violations_routed() const noexcept {
+    return violations_routed_;
+  }
 
   void on_start() override;
   void on_message(const sim::Message& message) override;
@@ -112,6 +122,8 @@ class Manager final : public sim::Process {
   std::uint32_t restarts_live_ = 0;
   std::uint32_t takeovers_ = 0;
   std::uint32_t demotions_ = 0;
+  CfHealer* healer_ = nullptr;
+  std::uint64_t violations_routed_ = 0;
 
   std::optional<sim::ReliableSender> hb_sender_;
   sim::ReliableReceiver receiver_{*this};

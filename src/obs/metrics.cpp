@@ -39,25 +39,36 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "audit.full_sweeps",
     "audit.table_reload_escalations",
     "audit.full_reload_escalations",
+    "audit.element_reenabled",
+    "audit.cf_slices",
+    "audit.cf_transitions_attested",
+    "audit.cf_violations",
     "pecos.checks",
     "pecos.violations",
     "pecos.preemptive_detections",
+    "pecos.cf_transitions_logged",
+    "pecos.cf_log_overflow_slices",
     "manager.heartbeats_sent",
     "manager.heartbeat_replies",
     "manager.restarts",
     "manager.takeovers",
     "manager.demotions",
+    "manager.heals",
+    "manager.heal_replayed_ops",
+    "manager.heal_escalations",
 };
 
 constexpr std::array<std::string_view, kGaugeCount> kGaugeNames = {
     "sched.max_pending_events",
     "db.write_generation",
     "reliable.max_in_flight",
+    "cf_log.max_depth",
 };
 
 constexpr std::array<std::string_view, kHistogramCount> kHistogramNames = {
     "audit.check_cost_us",
     "audit.pass_cost_us",
+    "cf.detection_latency_us",
 };
 
 void append_u64(std::string& out, std::uint64_t value) {

@@ -70,14 +70,23 @@ enum class Counter : std::uint16_t {
   audit_full_sweeps,
   audit_table_reload_escalations,
   audit_full_reload_escalations,
+  audit_element_reenabled,
+  audit_cf_slices,
+  audit_cf_transitions_attested,
+  audit_cf_violations,
   pecos_checks,
   pecos_violations,
   pecos_preemptive_detections,
+  pecos_cf_transitions_logged,
+  pecos_cf_log_overflow_slices,
   manager_heartbeats_sent,
   manager_heartbeat_replies,
   manager_restarts,
   manager_takeovers,
   manager_demotions,
+  manager_heals,
+  manager_heal_replayed_ops,
+  manager_heal_escalations,
   kCount,
 };
 
@@ -87,6 +96,7 @@ enum class Gauge : std::uint16_t {
   sched_max_pending_events,
   db_write_generation,
   reliable_max_in_flight,
+  cf_log_max_depth,
   kCount,
 };
 
@@ -94,6 +104,7 @@ enum class Gauge : std::uint16_t {
 enum class Histogram : std::uint16_t {
   audit_check_cost_us,
   audit_pass_cost_us,
+  cf_detection_latency_us,
   kCount,
 };
 

@@ -1,0 +1,90 @@
+#include "pecos/cf_log.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace wtc::pecos {
+
+CfLog::CfLog(std::uint32_t capacity_per_thread)
+    : capacity_(std::max<std::uint32_t>(capacity_per_thread, 2)) {}
+
+CfLog::Ring& CfLog::ring_for(std::uint32_t t) {
+  if (rings_.size() <= t) {
+    rings_.resize(t + 1);
+  }
+  Ring& ring = rings_[t];
+  if (ring.slots.empty()) {
+    ring.slots.resize(capacity_);
+  }
+  return ring;
+}
+
+void CfLog::append(Ring& ring, const CfTransition& entry) {
+  if (ring.len == ring.slots.size()) {
+    if (overflow_handler_ && !in_overflow_) {
+      // Force an early attestation slice instead of dropping: the handler
+      // drains this ring, so the append below lands in an empty ring.
+      in_overflow_ = true;
+      ++overflow_slices_;
+      obs::count(obs::Counter::pecos_cf_log_overflow_slices);
+      overflow_handler_(entry.thread);
+      in_overflow_ = false;
+    }
+    if (ring.len == ring.slots.size()) {
+      // No handler (or it did not drain): evict the oldest entry.
+      ring.head = (ring.head + 1) % ring.slots.size();
+      --ring.len;
+      ++dropped_;
+    }
+  }
+  ring.slots[(ring.head + ring.len) % ring.slots.size()] = entry;
+  ++ring.len;
+  obs::gauge_max(obs::Gauge::cf_log_max_depth,
+                 static_cast<std::uint64_t>(ring.len));
+}
+
+void CfLog::record(const CfTransition& entry) {
+  ++recorded_;
+  obs::count(obs::Counter::pecos_cf_transitions_logged);
+  append(ring_for(entry.thread), entry);
+}
+
+void CfLog::note_thread_start(std::uint32_t thread, std::uint32_t entry_pc,
+                              sim::Time time) {
+  CfTransition marker;
+  marker.thread = thread;
+  marker.from_pc = entry_pc;
+  marker.to_pc = entry_pc;
+  marker.time = time;
+  marker.thread_start = true;
+  append(ring_for(thread), marker);
+}
+
+std::size_t CfLog::drain(std::uint32_t t, std::vector<CfTransition>& out) {
+  if (t >= rings_.size()) {
+    return 0;
+  }
+  Ring& ring = rings_[t];
+  const std::size_t n = ring.len;
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring.slots[(ring.head + i) % ring.slots.size()]);
+  }
+  ring.head = 0;
+  ring.len = 0;
+  return n;
+}
+
+void CfLog::clear_thread(std::uint32_t t) {
+  if (t < rings_.size()) {
+    rings_[t].head = 0;
+    rings_[t].len = 0;
+  }
+}
+
+std::size_t CfLog::size(std::uint32_t t) const noexcept {
+  return t < rings_.size() ? rings_[t].len : 0;
+}
+
+}  // namespace wtc::pecos

@@ -1,0 +1,88 @@
+// Bounded per-thread control-flow transition log (the ACFA-style CF log).
+//
+// The VM's ExecMonitor streams every retired non-fall-through control
+// transfer into one ring per thread: `(thread, from_pc, to_pc, sim-time)`.
+// The attestation element (audit/cf_attest) drains a thread's ring every
+// slice period and validates the transitions against the PECOS plan.
+//
+// Overflow policy: entries are never dropped. When a ring is full the log
+// invokes the registered overflow handler, which forces an *early*
+// attestation slice for that thread (draining the ring) before the new
+// entry is appended. Only if no handler is registered does the log fall
+// back to evicting the oldest entry (and counts the loss).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wtc::pecos {
+
+/// One logged control transfer. `thread_start` entries are resync markers
+/// appended when a thread is spawned or restarted at a clean entry; they
+/// carry the entry pc in `to_pc` and are not themselves validated.
+struct CfTransition {
+  std::uint32_t thread = 0;
+  std::uint32_t from_pc = 0;
+  std::uint32_t to_pc = 0;
+  sim::Time time = 0;  ///< quantum start time of the retiring instruction
+  bool thread_start = false;
+};
+
+class CfLog {
+ public:
+  explicit CfLog(std::uint32_t capacity_per_thread = 256);
+
+  /// Called with the thread id whose ring just filled up. Expected to
+  /// drain that ring (an early attestation slice). Invoked *before* the
+  /// overflowing entry is appended, so the entry is never lost.
+  void set_overflow_handler(std::function<void(std::uint32_t)> handler) {
+    overflow_handler_ = std::move(handler);
+  }
+
+  /// Appends a transition to its thread's ring.
+  void record(const CfTransition& entry);
+
+  /// Appends a thread-start resync marker (spawn or post-heal restart).
+  void note_thread_start(std::uint32_t thread, std::uint32_t entry_pc,
+                         sim::Time time);
+
+  /// Drains thread `t`'s ring into `out` in FIFO order; returns the number
+  /// of entries moved.
+  std::size_t drain(std::uint32_t t, std::vector<CfTransition>& out);
+
+  /// Discards thread `t`'s ring contents (healing: the tail is suspect).
+  void clear_thread(std::uint32_t t);
+
+  [[nodiscard]] std::size_t size(std::uint32_t t) const noexcept;
+  [[nodiscard]] std::size_t thread_count() const noexcept { return rings_.size(); }
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+  [[nodiscard]] std::uint64_t overflow_slices() const noexcept {
+    return overflow_slices_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  struct Ring {
+    std::vector<CfTransition> slots;
+    std::size_t head = 0;  // index of oldest entry
+    std::size_t len = 0;
+  };
+
+  Ring& ring_for(std::uint32_t t);
+  void append(Ring& ring, const CfTransition& entry);
+
+  std::uint32_t capacity_;
+  std::vector<Ring> rings_;
+  std::function<void(std::uint32_t)> overflow_handler_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t overflow_slices_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool in_overflow_ = false;  // re-entrancy guard for the handler
+};
+
+}  // namespace wtc::pecos

@@ -60,6 +60,24 @@ void PecosMonitor::on_thread_start(std::uint32_t thread_id, std::uint32_t entry)
     expected_entry_.resize(thread_id + 1, 0);
   }
   expected_entry_[thread_id] = plan_.cfg().leader_of(entry);
+  if (cf_log_ != nullptr) {
+    cf_log_->note_thread_start(thread_id, entry, 0);
+  }
+}
+
+void PecosMonitor::on_control_transfer(const vm::VmThread& thread,
+                                       std::uint32_t from_pc, std::uint64_t word,
+                                       std::uint32_t to_pc, sim::Time now) {
+  (void)word;
+  if (cf_log_ == nullptr) {
+    return;
+  }
+  CfTransition entry;
+  entry.thread = thread.id();
+  entry.from_pc = from_pc;
+  entry.to_pc = to_pc;
+  entry.time = now;
+  cf_log_->record(entry);
 }
 
 bool PecosMonitor::assertion_fails(const vm::VmThread& thread, std::uint32_t pc,
@@ -148,6 +166,13 @@ bool PostCheckMonitor::before_execute(const vm::VmThread& thread, std::uint32_t 
 void PostCheckMonitor::after_execute(const vm::VmThread& thread, std::uint32_t pc,
                                      std::uint64_t word, std::uint32_t next_pc) {
   inner_.after_execute(thread, pc, word, next_pc);
+}
+
+void PostCheckMonitor::on_control_transfer(const vm::VmThread& thread,
+                                           std::uint32_t from_pc,
+                                           std::uint64_t word,
+                                           std::uint32_t to_pc, sim::Time now) {
+  inner_.on_control_transfer(thread, from_pc, word, to_pc, now);
 }
 
 void PostCheckMonitor::on_thread_start(std::uint32_t thread_id, std::uint32_t entry) {

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "pecos/cf_log.hpp"
 #include "pecos/plan.hpp"
 #include "vm/interp.hpp"
 
@@ -42,6 +43,12 @@ class PecosMonitor final : public vm::ExecMonitor {
   void after_execute(const vm::VmThread& thread, std::uint32_t pc,
                      std::uint64_t word, std::uint32_t next_pc) override;
   void on_thread_start(std::uint32_t thread_id, std::uint32_t entry) override;
+  void on_control_transfer(const vm::VmThread& thread, std::uint32_t from_pc,
+                           std::uint64_t word, std::uint32_t to_pc,
+                           sim::Time now) override;
+
+  /// Streams retired control transfers into `log` (ACFA attestation feed).
+  void set_cf_log(CfLog* log) noexcept { cf_log_ = log; }
 
   [[nodiscard]] const MonitorStats& stats() const noexcept { return stats_; }
 
@@ -55,6 +62,7 @@ class PecosMonitor final : public vm::ExecMonitor {
   const Plan& plan_;
   MonitorStats stats_;
   std::vector<std::uint32_t> expected_entry_;  // per thread: last legit leader
+  CfLog* cf_log_ = nullptr;
 };
 
 /// Non-preemptive baseline: defers each failed check by one instruction,
@@ -68,6 +76,11 @@ class PostCheckMonitor final : public vm::ExecMonitor {
   void after_execute(const vm::VmThread& thread, std::uint32_t pc,
                      std::uint64_t word, std::uint32_t next_pc) override;
   void on_thread_start(std::uint32_t thread_id, std::uint32_t entry) override;
+  void on_control_transfer(const vm::VmThread& thread, std::uint32_t from_pc,
+                           std::uint64_t word, std::uint32_t to_pc,
+                           sim::Time now) override;
+
+  void set_cf_log(CfLog* log) noexcept { inner_.set_cf_log(log); }
 
   [[nodiscard]] const MonitorStats& stats() const noexcept { return inner_.stats(); }
 

@@ -88,8 +88,12 @@ void ReliableSender::arm_retry(std::uint64_t seq) {
     }
     pending->second.retry_event = 0;  // this timer just fired
     if (pending->second.attempts >= config_.max_attempts) {
+      // Bounded delivery: surrender the frame to the dead-letter count
+      // rather than retrying forever against a dead receiver.
       ++abandoned_;
       obs::count(obs::Counter::reliable_abandoned);
+      obs::count(obs::Counter::ipc_dead_letters);
+      obs::trace_instant("reliable.dead_letter", "sim", owner_.node().now());
       common::log(common::LogLevel::Debug, "sim",
                   "reliable channel ", channel_, " abandoning seq ", seq,
                   " after ", pending->second.attempts, " attempts");

@@ -55,6 +55,26 @@ void VmProcess::terminate_thread(std::uint32_t i) {
   }
 }
 
+void VmProcess::reset_thread(std::uint32_t i, std::uint32_t entry) {
+  auto& thread = threads_.at(i);
+  thread.pc_ = entry;
+  thread.state_ = ThreadState::Runnable;
+  thread.trap_ = Trap::None;
+  thread.wake_time_ = 0;
+  thread.regs_.fill(0);
+  thread.data_.assign(pristine_.data_words, 0);
+  thread.ret_stack_.clear();
+  thread.instructions_ = 0;
+  if (monitor_ != nullptr) {
+    monitor_->on_thread_start(thread.id_, entry);
+  }
+}
+
+void VmProcess::restore_text_from_pristine() {
+  text_ = pristine_.text;
+  redirect_.reset();
+}
+
 bool VmProcess::any_live(sim::Time horizon) const noexcept {
   for (const auto& thread : threads_) {
     if (thread.state_ == ThreadState::Runnable) {
@@ -133,6 +153,9 @@ QuantumResult VmProcess::run_quantum(std::uint32_t i, sim::Time now) {
 
     if (monitor_ != nullptr && thread.state_ != ThreadState::Trapped) {
       monitor_->after_execute(thread, pc, word, thread.pc_);
+      if (thread.state_ != ThreadState::Halted && thread.pc_ != pc + 1) {
+        monitor_->on_control_transfer(thread, pc, word, thread.pc_, now);
+      }
     }
   }
   return result;

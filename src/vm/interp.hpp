@@ -108,6 +108,18 @@ class ExecMonitor {
                              std::uint64_t word, std::uint32_t next_pc) = 0;
   /// Called when a thread is spawned or reset.
   virtual void on_thread_start(std::uint32_t thread_id, std::uint32_t entry) = 0;
+  /// Called after a retired instruction transferred control somewhere other
+  /// than the fall-through (`to_pc != from_pc + 1`). `now` is the quantum
+  /// start time. Default: ignore — only CF-logging monitors override this.
+  virtual void on_control_transfer(const VmThread& thread, std::uint32_t from_pc,
+                                   std::uint64_t word, std::uint32_t to_pc,
+                                   sim::Time now) {
+    (void)thread;
+    (void)from_pc;
+    (void)word;
+    (void)to_pc;
+    (void)now;
+  }
 };
 
 /// Result of one scheduling quantum.
@@ -167,6 +179,15 @@ class VmProcess {
 
   /// Marks thread `i` Terminated (PECOS graceful recovery / process kill).
   void terminate_thread(std::uint32_t i);
+
+  /// Resets thread `i` to a clean start at `entry`: registers, data
+  /// segment, call stack, and trap state are reinitialised and the monitor
+  /// is told the thread (re)started. Used by the healing sequence.
+  void reset_thread(std::uint32_t i, std::uint32_t entry);
+
+  /// Restores the live text segment from the pristine program (the golden
+  /// copy of the code) — part of healing after an injected text error.
+  void restore_text_from_pristine();
 
   /// True if any thread is Runnable or has a Sleeping wake before `horizon`.
   [[nodiscard]] bool any_live(sim::Time horizon) const noexcept;
