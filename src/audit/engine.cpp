@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 
 #include "common/crc32.hpp"
 #include "db/direct.hpp"
@@ -111,6 +112,90 @@ AuditEngine::AuditEngine(db::Database& db, EngineConfig config,
         spec.num_records,
         std::make_pair(db::kNoTable, db::RecordIndex{0}));
   }
+  // Flattened record ordinals for the semantic scan's budget-resume index.
+  record_ordinal_base_.assign(tables, 0);
+  for (db::TableId t = 0; t < tables; ++t) {
+    record_ordinal_base_[t] = total_records_;
+    total_records_ += db_.schema().tables[t].num_records;
+  }
+}
+
+std::uint64_t AuditEngine::table_dirty_chunks(db::TableId t) const {
+  if (t >= db_.table_count()) {
+    return 0;
+  }
+  const auto& tl = db_.layout().table(t);
+  const std::uint64_t mark =
+      std::min(structure_watermark_[t], ranges_watermark_[t]);
+  return db_.dirty_chunks_since(
+      tl.offset, tl.record_size * static_cast<std::size_t>(tl.num_records),
+      mark);
+}
+
+std::size_t AuditEngine::parallel_detect(
+    std::size_t items, const std::function<void(std::size_t)>& detect) {
+  if (items == 0) {
+    return 0;
+  }
+  const std::size_t grain = std::max<std::size_t>(1, config_.parallel_grain);
+  const std::size_t tasks = (items + grain - 1) / grain;
+  // Logical detection tasks — counted whether or not a pool runs them, so
+  // the counter is identical at any audit_threads setting.
+  obs::count(obs::Counter::audit_parallel_tasks,
+             static_cast<std::uint64_t>(tasks));
+  const std::size_t workers = std::min(config_.audit_threads, tasks);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < items; ++i) {
+      detect(i);
+    }
+    return tasks;
+  }
+  if (!pool_) {
+    pool_ = std::make_unique<common::WorkerPool>(config_.audit_threads - 1);
+  }
+  std::atomic<std::size_t> next{0};
+  pool_->dispatch(workers, [&](std::size_t) {
+    for (;;) {
+      const std::size_t task = next.fetch_add(1, std::memory_order_relaxed);
+      if (task >= tasks) {
+        return;
+      }
+      const std::size_t end = std::min(items, (task + 1) * grain);
+      for (std::size_t i = task * grain; i < end; ++i) {
+        detect(i);
+      }
+    }
+  });
+  return tasks;
+}
+
+sim::Duration AuditEngine::makespan_of(
+    const std::vector<sim::Duration>& task_costs) const {
+  const std::size_t workers = std::max<std::size_t>(1, config_.audit_threads);
+  if (workers == 1) {
+    sim::Duration sum = 0;
+    for (const sim::Duration cost : task_costs) {
+      sum += cost;
+    }
+    return sum;
+  }
+  // Greedy list scheduling in task order (the deterministic model of a
+  // work queue): each task lands on the currently least-loaded worker.
+  std::vector<sim::Duration> load(workers, 0);
+  for (const sim::Duration cost : task_costs) {
+    auto* slot = &load[0];
+    for (auto& worker : load) {
+      if (worker < *slot) {
+        slot = &worker;
+      }
+    }
+    *slot += cost;
+  }
+  sim::Duration makespan = 0;
+  for (const sim::Duration worker : load) {
+    makespan = std::max(makespan, worker);
+  }
+  return makespan;
 }
 
 void AuditEngine::report(Finding finding) {
@@ -144,27 +229,66 @@ void AuditEngine::hold_watermark(std::uint64_t gen, std::uint64_t& new_mark) {
   }
 }
 
-CheckResult AuditEngine::check_static() { return tally(static_scan(true)); }
+CheckResult AuditEngine::check_static() {
+  return tally(static_scan(true, kUnlimited, nullptr));
+}
 CheckResult AuditEngine::check_static_incremental() {
-  return tally(static_scan(false));
+  return tally(static_scan(false, kUnlimited, nullptr));
 }
 
-CheckResult AuditEngine::static_scan(bool exhaustive) {
+CheckResult AuditEngine::static_scan(bool exhaustive, sim::Duration budget,
+                                     ScanProgress* progress) {
   CheckResult result;
+  scan_makespan_ = 0;
   if (!config_.static_check) {
     return result;
   }
-  const std::uint64_t mark = db_.write_generation();
-  for (const auto& chunk : static_chunks_) {
-    if (!exhaustive &&
-        !db_.span_written_since(chunk.offset, chunk.length, static_watermark_)) {
-      continue;  // no store write since the last scan verified this chunk
+  const std::size_t resume = progress != nullptr ? progress->resume : 0;
+  const std::uint64_t mark = progress != nullptr && progress->started
+                                 ? progress->mark
+                                 : db_.write_generation();
+
+  // Select: the chunk indexes this installment must verify. Computed up
+  // front (not interleaved with recovery) so the parallel detection phase
+  // sees exactly the set the merge phase will book.
+  std::vector<std::size_t> selected;
+  for (std::size_t i = resume; i < static_chunks_.size(); ++i) {
+    const auto& chunk = static_chunks_[i];
+    if (exhaustive ||
+        db_.span_written_since(chunk.offset, chunk.length, static_watermark_)) {
+      selected.push_back(i);
+    }
+  }
+
+  // Detect (read-only, parallelizable): golden-CRC compare per chunk.
+  std::vector<char> clean(selected.size(), 0);
+  parallel_detect(selected.size(), [&](std::size_t k) {
+    const auto& chunk = static_chunks_[selected[k]];
+    const auto live = db_.region().subspan(chunk.offset, chunk.length);
+    clean[k] = static_cast<char>(common::crc32(live) == chunk.golden_crc);
+  });
+
+  // Merge in chunk order: cost booking, findings, and reloads all happen
+  // here on the calling thread, so output is identical at any thread count.
+  const std::size_t grain = std::max<std::size_t>(1, config_.parallel_grain);
+  std::vector<sim::Duration> task_cost((selected.size() + grain - 1) / grain, 0);
+  bool truncated = false;
+  for (std::size_t k = 0; k < selected.size(); ++k) {
+    if (budget != kUnlimited && result.cost >= budget && k > 0) {
+      // Out of budget: book only what was scanned; resume here next cycle.
+      truncated = true;
+      progress->resume = selected[k];
+      progress->mark = mark;
+      progress->started = true;
+      progress->truncated = true;
+      break;
     }
     result.cost += config_.cost_per_static_chunk;
-    const auto live = db_.region().subspan(chunk.offset, chunk.length);
-    if (common::crc32(live) == chunk.golden_crc) {
+    task_cost[k / grain] += config_.cost_per_static_chunk;
+    if (clean[k]) {
       continue;
     }
+    const auto& chunk = static_chunks_[selected[k]];
     Finding finding;
     finding.technique = Technique::StaticChecksum;
     finding.recovery = Recovery::ReloadSpan;
@@ -178,9 +302,12 @@ CheckResult AuditEngine::static_scan(bool exhaustive) {
     ++result.findings;
     db_.reload_span_from_disk(chunk.offset, chunk.length);
   }
-  // Epoch watermark: writes that landed during this scan have generations
-  // above `mark` and therefore stay dirty for the next cycle.
-  static_watermark_ = mark;
+  scan_makespan_ = makespan_of(task_cost);
+  if (!truncated) {
+    // Epoch watermark: writes that landed during (any installment of) this
+    // scan have generations above `mark` and stay dirty for the next cycle.
+    static_watermark_ = mark;
+  }
   return result;
 }
 
@@ -204,24 +331,18 @@ bool AuditEngine::header_corrupted(db::TableId t, db::RecordIndex r,
   return header.next != expected_next;
 }
 
-CheckResult AuditEngine::check_one_header(db::TableId t, db::RecordIndex r,
-                                          std::uint32_t expected_next,
-                                          bool& corrupted) {
-  CheckResult result;
-  result.cost = config_.cost_per_record_structural;
-  corrupted = header_corrupted(t, r, expected_next);
-  return result;
-}
-
 CheckResult AuditEngine::check_structure(db::TableId t) {
-  return tally(structure_scan(t, true));
+  return tally(structure_scan(t, true, kUnlimited, nullptr));
 }
 CheckResult AuditEngine::check_structure_incremental(db::TableId t) {
-  return tally(structure_scan(t, false));
+  return tally(structure_scan(t, false, kUnlimited, nullptr));
 }
 
-CheckResult AuditEngine::structure_scan(db::TableId t, bool exhaustive) {
+CheckResult AuditEngine::structure_scan(db::TableId t, bool exhaustive,
+                                        sim::Duration budget,
+                                        ScanProgress* progress) {
   CheckResult result;
+  scan_makespan_ = 0;
   if (!config_.structural_check || t >= db_.table_count()) {
     return result;
   }
@@ -230,7 +351,10 @@ CheckResult AuditEngine::structure_scan(db::TableId t, bool exhaustive) {
     // watermark is NOT advanced, so nothing is lost for the next cycle.
     return result;
   }
-  const std::uint64_t mark = db_.write_generation();
+  const std::size_t resume = progress != nullptr ? progress->resume : 0;
+  const std::uint64_t mark = progress != nullptr && progress->started
+                                 ? progress->mark
+                                 : db_.write_generation();
   // Header generations, not record generations: this check validates only
   // the 16-byte headers, and ordinary call-data field updates cannot
   // corrupt what it reads.
@@ -257,23 +381,61 @@ CheckResult AuditEngine::structure_scan(db::TableId t, bool exhaustive) {
     }
   }
 
+  // Select: records this installment must validate. All repairs happen
+  // after detection (below), so an up-front selection sees the same dirty
+  // set the legacy interleaved loop did.
+  std::vector<db::RecordIndex> selected;
+  for (db::RecordIndex r = static_cast<db::RecordIndex>(resume);
+       r < tl.num_records; ++r) {
+    if (exhaustive || db_.header_generation(t, r) > structure_watermark_[t]) {
+      selected.push_back(r);
+    }
+  }
+
+  // Detect (read-only, parallelizable): corruption verdict per header,
+  // against the pre-repair region state — exactly what the sequential
+  // loop reads, since it too repairs only after the detection loop.
+  std::vector<char> corrupt(selected.size(), 0);
+  parallel_detect(selected.size(), [&](std::size_t k) {
+    corrupt[k] = static_cast<char>(
+        header_corrupted(t, selected[k], expected_next[selected[k]]));
+  });
+
+  // Merge in record order, replaying the sequential loop's consecutive-run
+  // accounting (clean-skipped records reset the run).
+  const std::size_t grain = std::max<std::size_t>(1, config_.parallel_grain);
+  std::vector<sim::Duration> task_cost((selected.size() + grain - 1) / grain, 0);
   std::vector<db::RecordIndex> bad;
-  std::uint32_t consecutive = 0;
-  for (db::RecordIndex r = 0; r < tl.num_records; ++r) {
-    if (!exhaustive && db_.header_generation(t, r) <= structure_watermark_[t]) {
+  std::uint32_t consecutive = progress != nullptr ? progress->consecutive : 0;
+  bool truncated = false;
+  std::size_t k = 0;  // position in `selected`
+  for (db::RecordIndex r = static_cast<db::RecordIndex>(resume);
+       r < tl.num_records; ++r) {
+    if (k >= selected.size() || selected[k] != r) {
       // Verified clean by a previous scan and untouched since. Reading its
       // group above cost nothing extra — the booked cost models the
       // per-record validation, which is skipped here.
       consecutive = 0;
       continue;
     }
-    bool corrupted = false;
-    result += check_one_header(t, r, expected_next[r], corrupted);
-    if (corrupted) {
+    if (budget != kUnlimited && result.cost >= budget && k > 0) {
+      truncated = true;
+      progress->resume = r;
+      progress->mark = mark;
+      progress->consecutive = consecutive;
+      progress->started = true;
+      progress->truncated = true;
+      break;
+    }
+    result.cost += config_.cost_per_record_structural;
+    task_cost[k / grain] += config_.cost_per_record_structural;
+    if (corrupt[k]) {
       bad.push_back(r);
       if (++consecutive >= config_.consecutive_header_threshold) {
         // Strong indication of misalignment: reload the whole database
-        // (§4.3.2). Dynamic state — all active calls — is lost.
+        // (§4.3.2). Dynamic state — all active calls — is lost. Verdicts
+        // for the remaining records are discarded unbooked, exactly like
+        // the sequential loop's early return.
         Finding finding;
         finding.technique = Technique::StructuralCheck;
         finding.recovery = Recovery::ReloadAll;
@@ -283,13 +445,19 @@ CheckResult AuditEngine::structure_scan(db::TableId t, bool exhaustive) {
         report(finding);
         ++result.findings;
         db_.reload_all_from_disk();
+        scan_makespan_ = makespan_of(task_cost);
         // Watermark deliberately not advanced: the reload rewrote the
         // whole region, and everything should be re-verified next cycle.
+        // Any carried progress is void for the same reason.
+        if (progress != nullptr) {
+          progress->truncated = false;
+        }
         return result;
       }
     } else {
       consecutive = 0;
     }
+    ++k;
   }
 
   for (const db::RecordIndex r : bad) {
@@ -304,24 +472,49 @@ CheckResult AuditEngine::structure_scan(db::TableId t, bool exhaustive) {
     ++result.findings;
     db::direct::repair_header(db_, t, r);
   }
-  // Repairs above went through the store (note_write), so the repaired
-  // records carry generations > mark and get re-verified next cycle — and
-  // the same notification resynchronizes the shadow group index with the
-  // repaired header words, keeping the API's O(1) splice path coherent
-  // after structural recovery.
-  structure_watermark_[t] = mark;
+  scan_makespan_ = makespan_of(task_cost);
+  if (!truncated) {
+    // Repairs above went through the store (note_write), so the repaired
+    // records carry generations > mark and get re-verified next cycle — and
+    // the same notification resynchronizes the shadow group index with the
+    // repaired header words, keeping the API's O(1) splice path coherent
+    // after structural recovery.
+    structure_watermark_[t] = mark;
+  }
   return result;
 }
 
 CheckResult AuditEngine::check_ranges(db::TableId t) {
-  return tally(ranges_scan(t, true));
+  return tally(ranges_scan(t, true, kUnlimited, nullptr));
 }
 CheckResult AuditEngine::check_ranges_incremental(db::TableId t) {
-  return tally(ranges_scan(t, false));
+  return tally(ranges_scan(t, false, kUnlimited, nullptr));
 }
 
-CheckResult AuditEngine::ranges_scan(db::TableId t, bool exhaustive) {
+namespace {
+
+/// Read-only verdict for one record of the range scan. `checked` fields
+/// were examined (each books one cost_per_field_range in the merge);
+/// `violations` is a bit per FieldId that failed its rule. The detection
+/// phase computes verdicts against the pre-recovery region state, which
+/// is exactly what the sequential interleaved loop read too: recovery
+/// writes for record A touch only A's own field/status bytes (plus
+/// neighbors' header link words on a free-relink), none of which a later
+/// record's range detection reads.
+struct RangeVerdict {
+  enum class Kind : std::uint8_t { Skip, Grace, Free, Active };
+  Kind kind = Kind::Skip;
+  std::uint32_t checked = 0;
+  std::uint64_t violations = 0;
+};
+
+}  // namespace
+
+CheckResult AuditEngine::ranges_scan(db::TableId t, bool exhaustive,
+                                     sim::Duration budget,
+                                     ScanProgress* progress) {
   CheckResult result;
+  scan_makespan_ = 0;
   if (!config_.range_check || t >= db_.table_count()) {
     return result;
   }
@@ -329,8 +522,10 @@ CheckResult AuditEngine::ranges_scan(db::TableId t, bool exhaustive) {
   if (!spec.dynamic || db_.lock_info(t)) {
     return result;
   }
-  const std::uint64_t mark = db_.write_generation();
-  std::uint64_t new_mark = mark;
+  const std::size_t resume = progress != nullptr ? progress->resume : 0;
+  const bool carried = progress != nullptr && progress->started;
+  const std::uint64_t mark = carried ? progress->mark : db_.write_generation();
+  std::uint64_t new_mark = carried ? progress->new_mark : mark;
   // Field generations, not record generations: a group relink rewrites
   // only header link words and cannot change any field value this check
   // reads, so it must not force a content rescan.
@@ -338,7 +533,13 @@ CheckResult AuditEngine::ranges_scan(db::TableId t, bool exhaustive) {
     ranges_watermark_[t] = mark;
     return result;
   }
-  for (db::RecordIndex r = 0; r < spec.num_records; ++r) {
+
+  // Select: records this installment must examine (dirty and not
+  // scrub-attested). The skip reasons here book nothing, same as the
+  // sequential loop's `continue`s.
+  std::vector<db::RecordIndex> selected;
+  for (db::RecordIndex r = static_cast<db::RecordIndex>(resume);
+       r < spec.num_records; ++r) {
     const std::uint64_t field_gen = db_.field_generation(t, r);
     if (!exhaustive && field_gen <= ranges_watermark_[t]) {
       continue;
@@ -351,51 +552,89 @@ CheckResult AuditEngine::ranges_scan(db::TableId t, bool exhaustive) {
       // injected through the store — breaks the equality.
       continue;
     }
+    selected.push_back(r);
+  }
+
+  // Detect (read-only, parallelizable).
+  std::vector<RangeVerdict> verdict(selected.size());
+  parallel_detect(selected.size(), [&](std::size_t k) {
+    const db::RecordIndex r = selected[k];
+    RangeVerdict& v = verdict[k];
     const auto header = db::direct::read_header(db_, t, r);
     if (recently_written(t, r)) {
-      // Possibly mid-transaction: skipped unverified, so the watermark is
-      // held back below its generation and it stays dirty for next cycle.
-      hold_watermark(field_gen, new_mark);
-      continue;
+      v.kind = RangeVerdict::Kind::Grace;
+      return;
     }
     if (header.status == db::kStatusFree) {
       // Free records must hold exactly their catalog defaults (the API
       // scrubs them on free) — the strongest possible rule, so the audit
       // sweep removes latent errors in unused data ("the entire database
       // is checked for errors periodically", §5.1).
+      v.kind = RangeVerdict::Kind::Free;
       for (db::FieldId f = 0; f < spec.fields.size(); ++f) {
-        result.cost += config_.cost_per_field_range;
-        const std::int32_t value = db::direct::read_field(db_, t, r, f);
-        if (value == spec.fields[f].default_value) {
-          continue;
+        ++v.checked;
+        if (db::direct::read_field(db_, t, r, f) !=
+            spec.fields[f].default_value) {
+          v.violations |= std::uint64_t{1} << f;
         }
-        Finding finding;
-        finding.technique = Technique::RangeCheck;
-        finding.recovery = Recovery::ResetField;
-        finding.table = t;
-        finding.record = r;
-        finding.field = f;
-        finding.offset = db_.layout().field_offset(t, r, f);
-        finding.length = 4;
-        report(finding);
-        ++result.findings;
-        db::direct::write_field(db_, t, r, f, spec.fields[f].default_value);
       }
-      continue;
+      return;
     }
     if (header.status != db::kStatusActive) {
-      continue;  // corrupted status: the structural audit owns this
+      return;  // corrupted status: the structural audit owns this
     }
+    v.kind = RangeVerdict::Kind::Active;
     for (db::FieldId f = 0; f < spec.fields.size(); ++f) {
       const auto& field = spec.fields[f];
       if (!field.has_range()) {
         continue;
       }
-      result.cost += config_.cost_per_field_range;
+      ++v.checked;
       const std::int32_t value = db::direct::read_field(db_, t, r, f);
       if (value >= *field.range_min && value <= *field.range_max) {
         continue;
       }
+      v.violations |= std::uint64_t{1} << f;
+      if (config_.free_dynamic_on_range_error) {
+        return;  // record will be freed; no further fields are scanned
+      }
+    }
+  });
+
+  // Merge in record order: cost booking, findings, resets, and frees.
+  const std::size_t grain = std::max<std::size_t>(1, config_.parallel_grain);
+  std::vector<sim::Duration> task_cost((selected.size() + grain - 1) / grain, 0);
+  bool truncated = false;
+  for (std::size_t k = 0; k < selected.size(); ++k) {
+    if (budget != kUnlimited && result.cost >= budget && k > 0) {
+      truncated = true;
+      progress->resume = selected[k];
+      progress->mark = mark;
+      progress->new_mark = new_mark;
+      progress->started = true;
+      progress->truncated = true;
+      break;
+    }
+    const db::RecordIndex r = selected[k];
+    const RangeVerdict& v = verdict[k];
+    if (v.kind == RangeVerdict::Kind::Skip) {
+      continue;
+    }
+    if (v.kind == RangeVerdict::Kind::Grace) {
+      // Possibly mid-transaction: skipped unverified, so the watermark is
+      // held back below its generation and it stays dirty for next cycle.
+      hold_watermark(db_.field_generation(t, r), new_mark);
+      continue;
+    }
+    const sim::Duration record_cost =
+        static_cast<sim::Duration>(v.checked) * config_.cost_per_field_range;
+    result.cost += record_cost;
+    task_cost[k / grain] += record_cost;
+    for (db::FieldId f = 0; f < spec.fields.size(); ++f) {
+      if ((v.violations & (std::uint64_t{1} << f)) == 0) {
+        continue;
+      }
+      const auto& field = spec.fields[f];
       Finding finding;
       finding.technique = Technique::RangeCheck;
       finding.table = t;
@@ -407,7 +646,8 @@ CheckResult AuditEngine::ranges_scan(db::TableId t, bool exhaustive) {
       // Recovery: reset to the catalog default; in a dynamic table, also
       // free the record preemptively to stop propagation (§4.3.1).
       db::direct::write_field(db_, t, r, f, field.default_value);
-      if (config_.free_dynamic_on_range_error) {
+      if (v.kind == RangeVerdict::Kind::Active &&
+          config_.free_dynamic_on_range_error) {
         finding.recovery = Recovery::FreeRecord;
         report(finding);
         db::direct::free_record(db_, t, r);
@@ -417,7 +657,10 @@ CheckResult AuditEngine::ranges_scan(db::TableId t, bool exhaustive) {
       report(finding);
     }
   }
-  ranges_watermark_[t] = new_mark;
+  scan_makespan_ = makespan_of(task_cost);
+  if (!truncated) {
+    ranges_watermark_[t] = new_mark;
+  }
   return result;
 }
 
@@ -501,19 +744,38 @@ void AuditEngine::free_and_terminate(db::TableId t, db::RecordIndex r,
 }
 
 CheckResult AuditEngine::check_semantics() {
-  return tally(semantics_scan(true));
+  return tally(semantics_scan(true, kUnlimited, nullptr));
 }
 CheckResult AuditEngine::check_semantics_incremental() {
-  return tally(semantics_scan(false));
+  return tally(semantics_scan(false, kUnlimited, nullptr));
 }
 
-CheckResult AuditEngine::semantics_scan(bool exhaustive) {
+// The semantic scan stays sequential even when audit_threads > 1: its
+// recovery (freeing a zombie chain) rewrites records that later anchors'
+// walks read, so detection and recovery interleave by design and cannot
+// be split into a read-only phase without changing results. Its budget
+// truncation uses a flattened (table, record) ordinal as the resume
+// point: walk anchors occupy ordinals [0, total_records_), the orphan
+// sweep's tables occupy [total_records_, total_records_ + table_count).
+CheckResult AuditEngine::semantics_scan(bool exhaustive, sim::Duration budget,
+                                        ScanProgress* progress) {
   CheckResult result;
+  scan_makespan_ = 0;
   if (!config_.semantic_check) {
     return result;
   }
-  const std::uint64_t mark = db_.write_generation();
-  std::uint64_t new_mark = mark;
+  const std::size_t resume = progress != nullptr ? progress->resume : 0;
+  const bool carried = progress != nullptr && progress->started;
+  const std::uint64_t mark = carried ? progress->mark : db_.write_generation();
+  std::uint64_t new_mark = carried ? progress->new_mark : mark;
+  bool progressed = false;
+  const auto truncate_at = [&](std::size_t ordinal) {
+    progress->resume = ordinal;
+    progress->mark = mark;
+    progress->new_mark = new_mark;
+    progress->started = true;
+    progress->truncated = true;
+  };
   std::vector<std::pair<db::TableId, db::RecordIndex>> chain;
 
   // Anchor selection. Exhaustive: every record of every anchor table
@@ -552,7 +814,8 @@ CheckResult AuditEngine::semantics_scan(bool exhaustive) {
   }
 
   // Anchored loop checks (§4.3.3).
-  for (db::TableId t = 0; t < db_.table_count(); ++t) {
+  bool truncated = false;
+  for (db::TableId t = 0; t < db_.table_count() && !truncated; ++t) {
     if (!anchor_table_[t]) {
       continue;
     }
@@ -561,15 +824,20 @@ CheckResult AuditEngine::semantics_scan(bool exhaustive) {
       // Locked: hold the watermark back for every selected anchor so the
       // skipped walks happen next cycle.
       for (db::RecordIndex r = 0; r < spec.num_records; ++r) {
-        if (walk[t][r]) {
+        if (walk[t][r] && record_ordinal_base_[t] + r >= resume) {
           hold_watermark(db_.field_generation(t, r), new_mark);
         }
       }
       continue;
     }
     for (db::RecordIndex r = 0; r < spec.num_records; ++r) {
-      if (!walk[t][r]) {
-        continue;
+      if (!walk[t][r] || record_ordinal_base_[t] + r < resume) {
+        continue;  // below resume: walked by an earlier installment
+      }
+      if (budget != kUnlimited && result.cost >= budget && progressed) {
+        truncate_at(record_ordinal_base_[t] + r);
+        truncated = true;
+        break;
       }
       const auto header = db::direct::read_header(db_, t, r);
       if (header.status != db::kStatusActive) {
@@ -580,6 +848,7 @@ CheckResult AuditEngine::semantics_scan(bool exhaustive) {
         continue;
       }
       result.cost += config_.cost_per_loop_semantic;
+      progressed = true;
       const bool intact = loop_intact(t, r, chain);
       // Record which anchor each visited chain member belongs to, so a
       // future write to the member re-selects this anchor.
@@ -635,7 +904,17 @@ CheckResult AuditEngine::semantics_scan(bool exhaustive) {
 
   // Orphan ("resource leak") sweep: active records no longer referenced by
   // any semantic relationship are zombies holding limited resources.
-  for (db::TableId t = 0; t < db_.table_count(); ++t) {
+  // Budget granularity is one table: its reference scan derives one
+  // referenced-set, so it either runs whole or defers whole.
+  for (db::TableId t = 0; t < db_.table_count() && !truncated; ++t) {
+    if (total_records_ + t < resume) {
+      continue;  // swept by an earlier installment
+    }
+    if (budget != kUnlimited && result.cost >= budget && progressed) {
+      truncate_at(total_records_ + t);
+      truncated = true;
+      break;
+    }
     const auto& spec = db_.schema().tables[t];
     if (!spec.dynamic || !has_pk_[t] || referencing_[t].empty() ||
         db_.lock_info(t)) {
@@ -682,11 +961,15 @@ CheckResult AuditEngine::semantics_scan(bool exhaustive) {
         continue;
       }
       result.cost += config_.cost_per_loop_semantic;
+      progressed = true;
       ++result.findings;
       free_and_terminate(t, r, Technique::SemanticCheck);
     }
   }
-  semantic_watermark_ = new_mark;
+  scan_makespan_ = result.cost;  // sequential scan: critical path = total
+  if (!truncated) {
+    semantic_watermark_ = new_mark;
+  }
   return result;
 }
 
@@ -697,8 +980,13 @@ CheckResult AuditEngine::check_selective_incremental(db::TableId t) {
   return tally(selective_scan(t, false));
 }
 
+// Selective monitoring stays serial and atomic under the budget: its
+// verdicts derive from a whole-table value histogram, so partial scans
+// would change the invariant itself, not just defer work. An overloaded
+// cycle defers the whole unit instead (run_cycle's queue check).
 CheckResult AuditEngine::selective_scan(db::TableId t, bool exhaustive) {
   CheckResult result;
+  scan_makespan_ = 0;
   if (!config_.selective_monitoring || t >= db_.table_count()) {
     return result;
   }
@@ -777,6 +1065,7 @@ CheckResult AuditEngine::selective_scan(db::TableId t, bool exhaustive) {
     }
   }
   selective_watermark_[t] = new_mark;
+  scan_makespan_ = result.cost;
   return result;
 }
 
@@ -857,18 +1146,106 @@ CheckResult AuditEngine::check_record(db::TableId t, db::RecordIndex r) {
   return tally(result);
 }
 
-CheckResult AuditEngine::full_pass(const std::vector<db::TableId>& order) {
-  const auto start = static_cast<std::uint64_t>(clock_());
-  CheckResult result;
-  result += check_static();
+CheckResult AuditEngine::run_unit(WorkUnit& unit, sim::Duration budget) {
+  switch (unit.kind) {
+    case WorkUnit::Kind::Static:
+      return tally(static_scan(unit.exhaustive, budget, &unit.progress));
+    case WorkUnit::Kind::Structure:
+      return tally(
+          structure_scan(unit.table, unit.exhaustive, budget, &unit.progress));
+    case WorkUnit::Kind::Ranges:
+      return tally(
+          ranges_scan(unit.table, unit.exhaustive, budget, &unit.progress));
+    case WorkUnit::Kind::Selective:
+      return tally(selective_scan(unit.table, unit.exhaustive));
+    case WorkUnit::Kind::Semantics:
+      return tally(semantics_scan(unit.exhaustive, budget, &unit.progress));
+  }
+  return {};
+}
+
+CheckResult AuditEngine::run_cycle(const std::vector<db::TableId>& order,
+                                   bool exhaustive) {
+  // The cycle's work queue: units carried from earlier budget-exhausted
+  // cycles first (FIFO — the starvation-freedom guarantee under sustained
+  // overload), then this cycle's fresh units in `order`. A fresh unit
+  // duplicating a carried (kind, table) is dropped: the carried one
+  // already covers at least its dirty set.
+  std::vector<WorkUnit> queue;
+  queue.reserve(carry_.size() + 2 + 3 * order.size());
+  for (auto& unit : carry_) {
+    queue.push_back(unit);
+  }
+  carry_.clear();
+  const auto enqueue_fresh = [&](WorkUnit::Kind kind, db::TableId t) {
+    for (const auto& unit : queue) {
+      if (unit.kind == kind && unit.table == t) {
+        return;
+      }
+    }
+    WorkUnit unit;
+    unit.kind = kind;
+    unit.table = t;
+    unit.exhaustive = exhaustive;  // frozen: a truncated sweep unit still
+                                   // finishes exhaustively next cycle
+    queue.push_back(unit);
+  };
+  enqueue_fresh(WorkUnit::Kind::Static, db::kNoTable);
   for (const db::TableId t : order) {
-    result += check_structure(t);
-    result += check_ranges(t);
+    enqueue_fresh(WorkUnit::Kind::Structure, t);
+    enqueue_fresh(WorkUnit::Kind::Ranges, t);
     if (config_.selective_monitoring) {
-      result += check_selective(t);
+      enqueue_fresh(WorkUnit::Kind::Selective, t);
     }
   }
-  result += check_semantics();
+  enqueue_fresh(WorkUnit::Kind::Semantics, db::kNoTable);
+
+  const sim::Duration budget =
+      config_.cycle_budget > 0 ? config_.cycle_budget : kUnlimited;
+  CheckResult result;
+  sim::Duration makespan = 0;
+  bool exhausted = false;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (budget != kUnlimited && result.cost >= budget) {
+      // Out of budget: everything not yet started carries to the next
+      // cycle, in order.
+      exhausted = true;
+      for (std::size_t j = i; j < queue.size(); ++j) {
+        carry_.push_back(queue[j]);
+      }
+      break;
+    }
+    WorkUnit& unit = queue[i];
+    const sim::Duration remaining =
+        budget == kUnlimited ? kUnlimited : budget - result.cost;
+    result += run_unit(unit, remaining);
+    makespan += scan_makespan_;
+    if (unit.progress.truncated) {
+      // Partially scanned: the unit re-queues with its resume point; only
+      // the items it actually scanned were booked.
+      unit.progress.truncated = false;
+      carry_.push_back(unit);
+    }
+  }
+  if (exhausted) {
+    ++budget_exhausted_cycles_;
+    obs::count(obs::Counter::audit_budget_exhausted);
+  }
+  if (!carry_.empty()) {
+    deferred_units_total_ += carry_.size();
+    obs::count(obs::Counter::audit_cycles_deferred,
+               static_cast<std::uint64_t>(carry_.size()));
+  }
+  last_makespan_ = makespan;
+  total_makespan_ += makespan;
+  obs::observe(obs::Histogram::audit_cycle_latency_us,
+               static_cast<std::uint64_t>(makespan));
+  return result;
+}
+
+CheckResult AuditEngine::full_pass(const std::vector<db::TableId>& order) {
+  const auto start = static_cast<std::uint64_t>(clock_());
+  const CheckResult result = run_cycle(order, /*exhaustive=*/true);
   obs::count(obs::Counter::audit_passes);
   obs::observe(obs::Histogram::audit_pass_cost_us,
                static_cast<std::uint64_t>(result.cost));
@@ -887,20 +1264,11 @@ CheckResult AuditEngine::incremental_pass(const std::vector<db::TableId>& order)
     ++full_sweeps_;
     obs::count(obs::Counter::audit_full_sweeps);
   }
-  // A sweep cycle runs the scans exhaustively — same checks and costs as
-  // the baseline pass — which both catches corruption the dirty tracking
-  // never saw (raw-memory writes bypassing the store) and advances every
-  // watermark, clearing the accumulated dirty state.
-  CheckResult result;
-  result += tally(static_scan(sweep));
-  for (const db::TableId t : order) {
-    result += tally(structure_scan(t, sweep));
-    result += tally(ranges_scan(t, sweep));
-    if (config_.selective_monitoring) {
-      result += tally(selective_scan(t, sweep));
-    }
-  }
-  result += tally(semantics_scan(sweep));
+  // A sweep cycle enqueues its fresh units exhaustively — same checks and
+  // costs as the baseline pass — which both catches corruption the dirty
+  // tracking never saw (raw-memory writes bypassing the store) and
+  // advances every watermark, clearing the accumulated dirty state.
+  const CheckResult result = run_cycle(order, sweep);
   obs::count(obs::Counter::audit_passes);
   obs::observe(obs::Histogram::audit_pass_cost_us,
                static_cast<std::uint64_t>(result.cost));

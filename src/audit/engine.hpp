@@ -17,11 +17,15 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include "audit/report.hpp"
 #include "common/stats.hpp"
+#include "common/worker_pool.hpp"
 #include "db/database.hpp"
 #include "sim/time.hpp"
 
@@ -67,6 +71,29 @@ struct EngineConfig {
   /// disables sweeps entirely (store-path coverage only). The escape rate
   /// it buys is measured by bench/ablation_incremental_audit.
   std::uint32_t full_sweep_interval = 10;
+
+  // --- chunk-parallel detection (perf: multi-core audit) ---
+  /// Worker count for the read-only detection phase of the static /
+  /// structural / range scans (1 = fully sequential). Detection results
+  /// are merged on the calling thread in deterministic chunk/record
+  /// order, and all cost booking, findings, repairs, and obs output
+  /// happen in that merge — so every output is bit-identical to the
+  /// sequential engine at any thread count.
+  std::size_t audit_threads = 1;
+  /// Detection-task granularity (items per task: static chunks or
+  /// records). Fixed — independent of `audit_threads` — so task
+  /// boundaries, the `audit.parallel_tasks` count, and the modelled
+  /// cycle makespan depend only on the work, never on the worker count.
+  std::size_t parallel_grain = 64;
+
+  // --- per-cycle CPU budget (overload policy) ---
+  /// Modelled CPU allowance per full_pass/incremental_pass cycle, in µs
+  /// of booked audit cost (0 = unlimited). A cycle that hits the budget
+  /// truncates mid-scan — booking only the items it actually scanned —
+  /// and carries the unfinished work units to the next cycle (FIFO, so
+  /// no table starves under sustained overload). NOT multiplied by
+  /// `cost_scale`: it is a CPU allowance, not a per-item cost.
+  sim::Duration cycle_budget = 0;
 
   // --- modelled CPU cost (microseconds). The controller's production
   // database is far larger than this reproduction's, so `cost_scale`
@@ -164,6 +191,34 @@ class AuditEngine {
     return cycle_index_;
   }
 
+  // --- parallel/budgeted cycle outcome (valid after full_pass /
+  // incremental_pass; all values are deterministic functions of the
+  // configuration and workload, independent of host scheduling) ---
+  /// Modelled critical-path latency of the last cycle: per-scan detection
+  /// tasks greedily assigned to `audit_threads` workers in task order,
+  /// serial scans (semantic/selective) added whole. Equals the cycle's
+  /// booked cost when audit_threads == 1.
+  [[nodiscard]] sim::Duration last_cycle_makespan() const noexcept {
+    return last_makespan_;
+  }
+  [[nodiscard]] sim::Duration total_makespan() const noexcept {
+    return total_makespan_;
+  }
+  /// Cycles that ran out of budget before draining their work queue.
+  [[nodiscard]] std::uint64_t budget_exhausted_cycles() const noexcept {
+    return budget_exhausted_cycles_;
+  }
+  /// Work units pushed to a later cycle so far (deferrals + truncations).
+  [[nodiscard]] std::uint64_t deferred_units_total() const noexcept {
+    return deferred_units_total_;
+  }
+  /// Units currently carried over, waiting for the next cycle's budget.
+  [[nodiscard]] std::size_t carry_depth() const noexcept { return carry_.size(); }
+  /// Dirty-grid chunks overlapping table `t`'s span written since the
+  /// older of its structure/ranges watermarks — the "pressure" signal the
+  /// budgeted cycle ranks tables by.
+  [[nodiscard]] std::uint64_t table_dirty_chunks(db::TableId t) const;
+
   /// For non-engine elements (e.g. the progress indicator) to report
   /// through the same sink; stamps the time.
   void report_external(Finding finding) { report(std::move(finding)); }
@@ -173,8 +228,6 @@ class AuditEngine {
   [[nodiscard]] bool recently_written(db::TableId t, db::RecordIndex r) const;
   /// Frees `r` and terminates the thread that last wrote it.
   void free_and_terminate(db::TableId t, db::RecordIndex r, Technique technique);
-  CheckResult check_one_header(db::TableId t, db::RecordIndex r,
-                               std::uint32_t expected_next, bool& corrupted);
   [[nodiscard]] bool header_corrupted(db::TableId t, db::RecordIndex r,
                                       std::uint32_t expected_next) const;
   /// Follows the FK chain from (t, r); returns false on violation.
@@ -182,12 +235,69 @@ class AuditEngine {
                                  std::vector<std::pair<db::TableId, db::RecordIndex>>&
                                      chain) const;
 
+  static constexpr sim::Duration kUnlimited =
+      std::numeric_limits<sim::Duration>::max();
+
+  /// Carried progress of a budget-truncated scan. `resume` is an absolute
+  /// item index (static chunk / record / flattened semantic ordinal):
+  /// items below it were scanned — and booked — by an earlier installment
+  /// of the same scan. `mark` is the epoch watermark captured when the
+  /// scan first started; it is adopted only when the scan completes, so
+  /// writes landing between installments stay dirty. `new_mark` carries
+  /// the running skip-holds (grace window, locks) across installments.
+  struct ScanProgress {
+    std::size_t resume = 0;
+    std::uint64_t mark = 0;
+    std::uint64_t new_mark = 0;
+    std::uint32_t consecutive = 0;  ///< structural consecutive-bad run
+    bool started = false;
+    bool truncated = false;  ///< set by a scan that hit its budget
+  };
+
+  /// One schedulable slice of an audit cycle. The cycle's work queue is
+  /// carried units (FIFO) followed by this cycle's fresh units; a unit
+  /// that hits the budget re-queues itself with its ScanProgress.
+  struct WorkUnit {
+    enum class Kind : std::uint8_t { Static, Structure, Ranges, Selective, Semantics };
+    Kind kind = Kind::Static;
+    db::TableId table = db::kNoTable;
+    bool exhaustive = false;  ///< frozen at enqueue: a truncated sweep
+                              ///< unit finishes exhaustively next cycle
+    ScanProgress progress;
+  };
+
   // Shared implementations of the exhaustive/incremental check pairs.
-  CheckResult static_scan(bool exhaustive);
-  CheckResult structure_scan(db::TableId t, bool exhaustive);
-  CheckResult ranges_scan(db::TableId t, bool exhaustive);
-  CheckResult semantics_scan(bool exhaustive);
+  // `budget` is the remaining cycle allowance (kUnlimited for the one-shot
+  // public checks); `progress` carries truncation state across cycles
+  // (nullptr for one-shot calls, which never truncate).
+  CheckResult static_scan(bool exhaustive, sim::Duration budget,
+                          ScanProgress* progress);
+  CheckResult structure_scan(db::TableId t, bool exhaustive, sim::Duration budget,
+                             ScanProgress* progress);
+  CheckResult ranges_scan(db::TableId t, bool exhaustive, sim::Duration budget,
+                          ScanProgress* progress);
+  CheckResult semantics_scan(bool exhaustive, sim::Duration budget,
+                             ScanProgress* progress);
   CheckResult selective_scan(db::TableId t, bool exhaustive);
+
+  /// Runs `detect(i)` for every i in [0, items) — a read-only verdict
+  /// computation with no obs/log/region writes — partitioned into
+  /// `parallel_grain`-sized tasks, on the worker pool when
+  /// audit_threads > 1. Returns the task count (counted as
+  /// audit.parallel_tasks whether or not a pool ran them, so the counter
+  /// is identical at any thread count).
+  std::size_t parallel_detect(std::size_t items,
+                              const std::function<void(std::size_t)>& detect);
+  /// Deterministic critical path of `task_costs` greedily assigned (in
+  /// task order, to the least-loaded worker) across audit_threads workers.
+  [[nodiscard]] sim::Duration makespan_of(
+      const std::vector<sim::Duration>& task_costs) const;
+
+  /// Runs one work unit against `budget` remaining cycle allowance;
+  /// tallies the scan and updates scan_makespan_.
+  CheckResult run_unit(WorkUnit& unit, sim::Duration budget);
+  /// One budgeted, carried, prioritized cycle over the unit queue.
+  CheckResult run_cycle(const std::vector<db::TableId>& order, bool exhaustive);
   /// A record was skipped without being verified: pull `new_mark` below
   /// its write generation `gen` so the next incremental scan revisits it.
   /// Callers pass the generation from the same domain their dirty test
@@ -230,6 +340,23 @@ class AuditEngine {
   /// Per-anchor dirty sets: the loop anchor each record last belonged to,
   /// so a write to any chain member re-walks exactly that loop.
   std::vector<std::vector<std::pair<db::TableId, db::RecordIndex>>> chain_anchor_;
+
+  // --- parallel/budgeted cycle state ---
+  /// Detection worker pool, created lazily when audit_threads > 1.
+  std::unique_ptr<common::WorkerPool> pool_;
+  /// Work deferred by budget exhaustion, run first next cycle (FIFO).
+  std::deque<WorkUnit> carry_;
+  /// Critical-path cost of the last scan (set by every scan; equals the
+  /// scan's booked cost for serial scans).
+  sim::Duration scan_makespan_ = 0;
+  sim::Duration last_makespan_ = 0;
+  sim::Duration total_makespan_ = 0;
+  std::uint64_t budget_exhausted_cycles_ = 0;
+  std::uint64_t deferred_units_total_ = 0;
+  /// Flattened (table, record) ordinal bases for the semantic scan's
+  /// resume indexing: ordinal(t, r) = record_ordinal_base_[t] + r.
+  std::vector<std::size_t> record_ordinal_base_;
+  std::size_t total_records_ = 0;
 };
 
 }  // namespace wtc::audit

@@ -72,6 +72,34 @@ db::TableId PriorityScheduler::next_prioritized() {
   return static_cast<db::TableId>(chosen);
 }
 
+std::vector<db::TableId> PriorityScheduler::ranked_by_pressure(
+    const std::vector<std::uint64_t>& dirty_chunks) const {
+  const std::size_t n = db_.table_count();
+  const auto share = shares();
+  std::vector<db::TableId> order(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    order[t] = static_cast<db::TableId>(t);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](db::TableId a, db::TableId b) {
+                     const std::uint64_t da =
+                         a < dirty_chunks.size() ? dirty_chunks[a] : 0;
+                     const std::uint64_t db_chunks =
+                         b < dirty_chunks.size() ? dirty_chunks[b] : 0;
+                     if (da != db_chunks) {
+                       return da > db_chunks;
+                     }
+                     if (prev_cycle_errors_[a] != prev_cycle_errors_[b]) {
+                       return prev_cycle_errors_[a] > prev_cycle_errors_[b];
+                     }
+                     if (share[a] != share[b]) {
+                       return share[a] > share[b];
+                     }
+                     return a < b;
+                   });
+  return order;
+}
+
 db::TableId PriorityScheduler::next_round_robin() {
   const auto chosen = static_cast<db::TableId>(rr_next_);
   rr_next_ = (rr_next_ + 1) % db_.table_count();

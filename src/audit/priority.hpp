@@ -43,6 +43,16 @@ class PriorityScheduler {
   /// Picks the next table in fixed rotation (unprioritized baseline).
   [[nodiscard]] db::TableId next_round_robin();
 
+  /// Table order for a CPU-budgeted cycle: every table, ranked by audit
+  /// pressure — dirty-chunk count first (most unverified writes), then
+  /// previous-cycle error count (temporal locality of corruption), then
+  /// importance share, then table id for determinism. Under overload the
+  /// budget runs out mid-cycle, so the tables most likely to hold
+  /// undetected corruption must come first; the carry queue (not this
+  /// ranking) is what guarantees the tail is never starved.
+  [[nodiscard]] std::vector<db::TableId> ranked_by_pressure(
+      const std::vector<std::uint64_t>& dirty_chunks) const;
+
   /// Snapshot + clear the per-cycle error counters (call at cycle starts
   /// so `errors_last_cycle` means "previous cycle" during ranking).
   void begin_cycle(db::Database& db);

@@ -315,7 +315,18 @@ void PeriodicAuditElement::tick(AuditProcess& process) {
     }
   } else {
     std::vector<db::TableId> order;
-    if (process.config().prioritized) {
+    if (process.config().engine.cycle_budget > 0) {
+      // A budgeted cycle may not reach every table before the allowance
+      // runs out, so rank by audit pressure: tables with the most
+      // unverified writes (dirty chunks) and the hottest recent error
+      // history go first. The engine's carry queue guarantees whatever
+      // the budget cuts off still runs in a later cycle.
+      std::vector<std::uint64_t> dirty(db.table_count(), 0);
+      for (std::size_t t = 0; t < dirty.size(); ++t) {
+        dirty[t] = engine.table_dirty_chunks(static_cast<db::TableId>(t));
+      }
+      order = process.scheduler().ranked_by_pressure(dirty);
+    } else if (process.config().prioritized) {
       // Audit every table this cycle, most important first — importance
       // ordering shortens detection latency for hot tables.
       auto share = process.scheduler().shares();

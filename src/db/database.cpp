@@ -174,6 +174,25 @@ bool Database::span_written_since(std::size_t offset, std::size_t len,
   return false;
 }
 
+std::uint64_t Database::dirty_chunks_since(std::size_t offset, std::size_t len,
+                                           std::uint64_t gen) const noexcept {
+  if (write_gen_ <= gen || len == 0) {
+    return 0;
+  }
+  const std::size_t end = std::min(offset + len, region_.size());
+  if (offset >= end) {
+    return 0;
+  }
+  std::uint64_t dirty = 0;
+  for (std::size_t c = offset / kDirtyChunkBytes; c <= (end - 1) / kDirtyChunkBytes;
+       ++c) {
+    if (chunk_gen_[c] > gen) {
+      ++dirty;
+    }
+  }
+  return dirty;
+}
+
 void Database::reload_all_from_disk() noexcept {
   obs::count(obs::Counter::db_reloads);
   std::memcpy(region_.data(), pristine_.data(), region_.size());

@@ -219,6 +219,11 @@ class Database {
   /// kDirtyChunkBytes, never under-approximate).
   [[nodiscard]] bool span_written_since(std::size_t offset, std::size_t len,
                                         std::uint64_t gen) const noexcept;
+  /// Number of dirty-grid chunks in [offset, offset+len) written since
+  /// generation `gen` — the audit scheduler's table-pressure signal.
+  [[nodiscard]] std::uint64_t dirty_chunks_since(std::size_t offset,
+                                                 std::size_t len,
+                                                 std::uint64_t gen) const noexcept;
 
   // --- shadow group/free indexes (O(1) API hot path; see index.hpp) ---
   // One TableIndex per table, living outside the audited region. Kept in

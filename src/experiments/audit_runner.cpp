@@ -67,6 +67,9 @@ AuditRunResult run_audit_experiment(const AuditRunParams& params) {
       result.audit_cycles = audit->cycles();
       result.audit_cost = audit->total_cost();
       result.full_sweeps = audit->engine().full_sweeps();
+      result.audit_makespan = audit->engine().total_makespan();
+      result.budget_exhausted_cycles = audit->engine().budget_exhausted_cycles();
+      result.deferred_units = audit->engine().deferred_units_total();
     }
   }
   return result;
@@ -160,9 +163,14 @@ AggregateAuditResult run_audit_series(AuditRunParams params, std::size_t runs) {
       aggregate.audit_cost_per_cycle_us.add(
           static_cast<double>(run.audit_cost) /
           static_cast<double>(run.audit_cycles));
+      aggregate.cycle_latency_us.add(
+          static_cast<double>(run.audit_makespan) /
+          static_cast<double>(run.audit_cycles));
     }
     aggregate.audit_cycles += run.audit_cycles;
     aggregate.full_sweeps += run.full_sweeps;
+    aggregate.budget_exhausted_cycles += run.budget_exhausted_cycles;
+    aggregate.deferred_units += run.deferred_units;
     const ErrorBreakdown b = classify_injections(run.injections);
     aggregate.breakdown.structural_detected += b.structural_detected;
     aggregate.breakdown.structural_escaped += b.structural_escaped;

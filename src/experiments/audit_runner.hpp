@@ -43,6 +43,15 @@ struct AuditRunResult {
   sim::Duration audit_cost = 0;
   /// Exhaustive sweeps the incremental engine ran (0 for the baseline).
   std::uint64_t full_sweeps = 0;
+  /// Modelled critical-path latency summed over all periodic cycles:
+  /// equals `audit_cost` at audit_threads == 1, shrinks toward
+  /// cost / audit_threads as detection parallelizes. The booked CPU
+  /// (audit_cost) is unchanged by threading — only the makespan moves.
+  sim::Duration audit_makespan = 0;
+  /// Cycles whose work queue outlived the configured CPU budget.
+  std::uint64_t budget_exhausted_cycles = 0;
+  /// Work units pushed to a later cycle (budget deferrals + truncations).
+  std::uint64_t deferred_units = 0;
   std::uint32_t manager_restarts = 0;
   double avg_setup_ms = 0.0;
 };
@@ -81,8 +90,12 @@ struct AggregateAuditResult {
   common::RunningStats detection_latency_s;
   /// Per-run mean audit CPU per periodic cycle, in simulated µs.
   common::RunningStats audit_cost_per_cycle_us;
+  /// Per-run mean modelled cycle latency (makespan / cycles), in µs.
+  common::RunningStats cycle_latency_us;
   std::uint64_t audit_cycles = 0;
   std::uint64_t full_sweeps = 0;
+  std::uint64_t budget_exhausted_cycles = 0;
+  std::uint64_t deferred_units = 0;
   ErrorBreakdown breakdown;
 };
 

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "common/worker_pool.hpp"
 #include "obs/capture.hpp"
 #include "obs/metrics.hpp"
 
@@ -159,7 +160,7 @@ void run_indexed(std::size_t total,
   } else {
     std::atomic<std::size_t> next{0};
     std::atomic<bool> stop{false};
-    const auto worker = [&]() {
+    const auto worker = [&](std::size_t) {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= total || stop.load(std::memory_order_relaxed)) {
@@ -180,14 +181,11 @@ void run_indexed(std::size_t total,
         }
       }
     };
-    std::vector<std::thread> threads;
-    threads.reserve(jobs);
-    for (std::size_t t = 0; t < jobs; ++t) {
-      threads.emplace_back(worker);
-    }
-    for (auto& thread : threads) {
-      thread.join();
-    }
+    // Fork/join on the shared pool primitive: `jobs` workers (the calling
+    // thread plus jobs-1 pool threads) drain the atomic run counter, same
+    // as the hand-rolled thread spawning this replaces.
+    common::WorkerPool pool(jobs - 1);
+    pool.dispatch(jobs, worker);
   }
 
   if (state.failed) {

@@ -56,6 +56,9 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "manager.heals",
     "manager.heal_replayed_ops",
     "manager.heal_escalations",
+    "audit.parallel_tasks",
+    "audit.budget_exhausted",
+    "audit.cycles_deferred",
 };
 
 constexpr std::array<std::string_view, kGaugeCount> kGaugeNames = {
@@ -69,6 +72,7 @@ constexpr std::array<std::string_view, kHistogramCount> kHistogramNames = {
     "audit.check_cost_us",
     "audit.pass_cost_us",
     "cf.detection_latency_us",
+    "audit.cycle_latency_us",
 };
 
 void append_u64(std::string& out, std::uint64_t value) {

@@ -87,6 +87,9 @@ enum class Counter : std::uint16_t {
   manager_heals,
   manager_heal_replayed_ops,
   manager_heal_escalations,
+  audit_parallel_tasks,
+  audit_budget_exhausted,
+  audit_cycles_deferred,
   kCount,
 };
 
@@ -105,6 +108,7 @@ enum class Histogram : std::uint16_t {
   audit_check_cost_us,
   audit_pass_cost_us,
   cf_detection_latency_us,
+  audit_cycle_latency_us,
   kCount,
 };
 
