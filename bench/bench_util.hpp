@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "callproc/native_client.hpp"
+#include "db/shard_router.hpp"
 #include "experiments/audit_runner.hpp"
 #include "experiments/campaign.hpp"
 #include "obs/capture.hpp"
@@ -98,6 +99,31 @@ inline experiments::AuditRunParams table2_params() {
   params.client.supervision_period = 0;
   params.seed = 20010701;  // DSN 2001
   return params;
+}
+
+/// Parses and validates the `--shards=N` flag for sharded-database
+/// benches. Rejects 0 (there is no zero-shard database) and any
+/// non-power-of-2 count — the router resolves keys by masking a mixed
+/// 64-bit key with (N-1), so a non-power-of-2 N would silently route
+/// everything into the low shards instead of erroring. Both rejections
+/// are usage errors naming the constraint, in the same style as the
+/// other flag validation here.
+inline std::uint32_t shards_flag(int argc, char** argv,
+                                 std::size_t default_value) {
+  const std::size_t shards = flag(argc, argv, "shards", default_value);
+  if (shards == 0) {
+    detail::usage_error(argv[0],
+                        "invalid value for --shards: 0 (need at least one "
+                        "shard)");
+  }
+  if (!db::ShardRouter::valid_shard_count(static_cast<std::uint32_t>(shards)) ||
+      shards > 0xFFFFFFFFull) {
+    detail::usage_error(
+        argv[0], "invalid value for --shards: " + std::to_string(shards) +
+                     " (must be a power of two: the shard router masks the "
+                     "hashed subscriber key with shards-1)");
+  }
+  return static_cast<std::uint32_t>(shards);
 }
 
 /// Parses `--name=value` string flags (e.g. --csv=fig3.csv).

@@ -127,7 +127,7 @@ std::uint64_t AuditEngine::table_dirty_chunks(db::TableId t) const {
   const auto& tl = db_.layout().table(t);
   const std::uint64_t mark =
       std::min(structure_watermark_[t], ranges_watermark_[t]);
-  return db_.dirty_chunks_since(
+  return db_.region_dirty_chunks_since(
       tl.offset, tl.record_size * static_cast<std::size_t>(tl.num_records),
       mark);
 }
@@ -200,6 +200,7 @@ sim::Duration AuditEngine::makespan_of(
 
 void AuditEngine::report(Finding finding) {
   finding.time = clock_();
+  finding.shard = shard_id_;
   ++findings_;
   obs::count(obs::Counter::audit_findings);
   obs::trace_instant("audit.finding", "audit",

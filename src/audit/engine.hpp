@@ -127,6 +127,12 @@ class AuditEngine {
   void set_report_sink(ReportSink* sink) noexcept { sink_ = sink; }
   void set_client_control(ClientControl* control) noexcept { control_ = control; }
 
+  /// Shard id stamped on every finding this engine reports (0 when
+  /// unsharded). In a sharded deployment each shard owns its own engine;
+  /// the stamp is what keeps merged finding streams attributable.
+  void set_shard_id(std::uint32_t shard) noexcept { shard_id_ = shard; }
+  [[nodiscard]] std::uint32_t shard_id() const noexcept { return shard_id_; }
+
   /// Golden-checksum audit of all static data; recovery reloads corrupted
   /// chunks from disk (§4.3.1).
   CheckResult check_static();
@@ -310,6 +316,7 @@ class AuditEngine {
   std::function<sim::Time()> clock_;
   ReportSink* sink_ = nullptr;
   ClientControl* control_ = nullptr;
+  std::uint32_t shard_id_ = 0;
   std::uint64_t findings_ = 0;
   /// Golden CRCs of static-data chunks, computed from the pristine image.
   struct StaticChunk {

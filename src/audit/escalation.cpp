@@ -59,6 +59,7 @@ Recovery EscalationPolicy::on_finding(const Finding& finding, sim::Time now,
   escalation.offset = tl.offset;
   escalation.length = tl.record_size * tl.num_records;
   escalation.time = now;
+  escalation.shard = finding.shard;
   if (report_to != nullptr) {
     report_to->on_finding(escalation);
   }
@@ -94,6 +95,7 @@ Recovery EscalationPolicy::on_finding(const Finding& finding, sim::Time now,
     full.offset = 0;
     full.length = db_.region().size();
     full.time = now;
+    full.shard = finding.shard;
     if (report_to != nullptr) {
       report_to->on_finding(full);
     }

@@ -51,6 +51,11 @@ struct Finding {
   std::size_t offset = 0;
   std::size_t length = 0;
   sim::Time time = 0;
+  /// Which database shard the finding belongs to (0 when unsharded).
+  /// Table/record/offset are all shard-local coordinates; without the
+  /// shard id a finding from shard 3 is indistinguishable from the same
+  /// record on shard 0.
+  std::uint32_t shard = 0;
 };
 
 /// Consumer of findings. The experiment oracle implements this to mark

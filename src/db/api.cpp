@@ -338,6 +338,24 @@ Status DbApi::write_fld(TableId t, RecordIndex r, FieldId f, std::int32_t value)
   return result;
 }
 
+namespace {
+
+// Resets record `r`'s data fields to their catalog defaults — the shared
+// tail of alloc (fresh records start from defaults) and free (scrubbing
+// stale call data). One catalog decode for the whole record, not one per
+// field.
+void reset_fields_to_defaults(Database& db, TableId t,
+                              const TableDescriptor& desc, std::size_t at) {
+  const CatalogView catalog(db.region());
+  for (FieldId f = 0; f < desc.num_fields; ++f) {
+    const auto field_desc = catalog.field(t, f);
+    store_i32(db.region(), at + kRecordHeaderSize + static_cast<std::size_t>(f) * 4,
+              field_desc ? field_desc->default_value : 0);
+  }
+}
+
+}  // namespace
+
 void DbApi::relink_groups(TableId t) {
   // Rebuild every group chain in record-index order. This keeps the
   // structural invariant "next == index of the next record in my group"
@@ -468,14 +486,7 @@ Status DbApi::alloc_rec(TableId t, std::uint32_t group, RecordIndex& out) {
     header.status = kStatusActive;
     header.group = group;
     store_record_header(db_.region(), at, header);
-    // Initialize data fields to catalog defaults (one catalog decode for
-    // the whole record, not one per field).
-    const CatalogView catalog(db_.region());
-    for (FieldId f = 0; f < desc.num_fields; ++f) {
-      const auto field_desc = catalog.field(t, f);
-      store_i32(db_.region(), at + kRecordHeaderSize + static_cast<std::size_t>(f) * 4,
-                field_desc ? field_desc->default_value : 0);
-    }
+    reset_fields_to_defaults(db_, t, desc, at);
     db_.note_write(at + 4, 8);  // status + group
     db_.note_write(at + kRecordHeaderSize, desc.num_fields * 4);
     splice_or_relink(t, *slot, old_group, old_next);
@@ -514,14 +525,8 @@ Status DbApi::free_rec(TableId t, RecordIndex r) {
     store_record_header(db_.region(), at, header);
     // Scrub the data portion back to catalog defaults so a freed record
     // carries no stale call data (and the audit can verify free records
-    // exactly against their defaults). One catalog decode for the whole
-    // record, not one per field.
-    const CatalogView catalog(db_.region());
-    for (FieldId f = 0; f < desc.num_fields; ++f) {
-      const auto field_desc = catalog.field(t, f);
-      store_i32(db_.region(), at + kRecordHeaderSize + static_cast<std::size_t>(f) * 4,
-                field_desc ? field_desc->default_value : 0);
-    }
+    // exactly against their defaults).
+    reset_fields_to_defaults(db_, t, desc, at);
     db_.note_write(at + 4, 8);  // status + group
     // The field rewrite above is a full scrub to catalog defaults, so the
     // store attests it: the incremental range audit can skip the freed

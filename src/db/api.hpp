@@ -143,6 +143,15 @@ class DbApi {
   [[nodiscard]] sim::ProcessId pid() const noexcept { return pid_; }
   [[nodiscard]] bool connected() const noexcept { return connected_; }
 
+  /// The Database this handle is bound to. A DbApi always talks to exactly
+  /// one region; in a sharded deployment the routing layer
+  /// (ShardedDbApi, shard_router.hpp) holds one handle per shard and
+  /// resolves subscriber keys to the right one — this accessor is what
+  /// lets that layer reach shard-local state (locks, index, observer)
+  /// without re-plumbing the constructor arguments.
+  [[nodiscard]] Database& database() noexcept { return db_; }
+  [[nodiscard]] const Database& database() const noexcept { return db_; }
+
   /// Client threads identify themselves before operating so the redundant
   /// metadata can attribute writes to a specific thread (the semantic
   /// audit's preemptive-termination recovery targets it, §4.3.3).

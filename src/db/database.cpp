@@ -174,8 +174,8 @@ bool Database::span_written_since(std::size_t offset, std::size_t len,
   return false;
 }
 
-std::uint64_t Database::dirty_chunks_since(std::size_t offset, std::size_t len,
-                                           std::uint64_t gen) const noexcept {
+std::uint64_t Database::region_dirty_chunks_since(
+    std::size_t offset, std::size_t len, std::uint64_t gen) const noexcept {
   if (write_gen_ <= gen || len == 0) {
     return 0;
   }

@@ -219,11 +219,27 @@ class Database {
   /// kDirtyChunkBytes, never under-approximate).
   [[nodiscard]] bool span_written_since(std::size_t offset, std::size_t len,
                                         std::uint64_t gen) const noexcept;
-  /// Number of dirty-grid chunks in [offset, offset+len) written since
-  /// generation `gen` — the audit scheduler's table-pressure signal.
-  [[nodiscard]] std::uint64_t dirty_chunks_since(std::size_t offset,
-                                                 std::size_t len,
-                                                 std::uint64_t gen) const noexcept;
+  /// Number of dirty-grid chunks in [offset, offset+len) of THIS region
+  /// written since generation `gen` — the audit scheduler's table-pressure
+  /// signal. Offsets and generations are local to this Database instance:
+  /// in a sharded deployment every shard owns its own region, dirty grid,
+  /// and write-generation clock, so a span or watermark from one shard is
+  /// meaningless against another. The name carries the scope so a caller
+  /// holding several shards cannot silently mix them up
+  /// (ShardedDb::dirty_chunks_since is the shard-addressed variant).
+  [[nodiscard]] std::uint64_t region_dirty_chunks_since(
+      std::size_t offset, std::size_t len, std::uint64_t gen) const noexcept;
+
+  /// Deprecated pre-sharding name: reads as if there were one global
+  /// region, which stopped being true when regions multiplied. Forwards to
+  /// region_dirty_chunks_since; new code must name the scope explicitly.
+  [[deprecated(
+      "regions are per-shard now; use region_dirty_chunks_since (this "
+      "Database's region) or ShardedDb::dirty_chunks_since(shard, ...)")]]
+  [[nodiscard]] std::uint64_t dirty_chunks_since(
+      std::size_t offset, std::size_t len, std::uint64_t gen) const noexcept {
+    return region_dirty_chunks_since(offset, len, gen);
+  }
 
   // --- shadow group/free indexes (O(1) API hot path; see index.hpp) ---
   // One TableIndex per table, living outside the audited region. Kept in

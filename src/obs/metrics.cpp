@@ -59,6 +59,8 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "audit.parallel_tasks",
     "audit.budget_exhausted",
     "audit.cycles_deferred",
+    "db.shard_routed",
+    "db.cross_shard_links",
 };
 
 constexpr std::array<std::string_view, kGaugeCount> kGaugeNames = {
@@ -66,6 +68,7 @@ constexpr std::array<std::string_view, kGaugeCount> kGaugeNames = {
     "db.write_generation",
     "reliable.max_in_flight",
     "cf_log.max_depth",
+    "db.shard_imbalance",
 };
 
 constexpr std::array<std::string_view, kHistogramCount> kHistogramNames = {

@@ -90,6 +90,8 @@ enum class Counter : std::uint16_t {
   audit_parallel_tasks,
   audit_budget_exhausted,
   audit_cycles_deferred,
+  db_shard_routed,
+  db_cross_shard_links,
   kCount,
 };
 
@@ -100,6 +102,9 @@ enum class Gauge : std::uint16_t {
   db_write_generation,
   reliable_max_in_flight,
   cf_log_max_depth,
+  /// Routing skew across database shards: max(per-shard routed ops) /
+  /// mean(per-shard routed ops), in milli (1000 = perfectly balanced).
+  db_shard_imbalance,
   kCount,
 };
 
