@@ -1,0 +1,169 @@
+// Standalone fuzz-harness driver: replays corpus/crash files (or streams
+// of generated random inputs) through the harness entry points without
+// libFuzzer. Builds under any compiler, so the gcc-only environments and
+// the sanitizer CI legs can exercise the exact invariants the
+// coverage-guided fuzzers enforce.
+//
+// Usage:
+//   fuzz_driver <region_image|minivm|ipc_frame> FILE...
+//   fuzz_driver <region_image|minivm|ipc_frame> --random COUNT [SEED] [MAXLEN]
+//   fuzz_driver <region_image|minivm|ipc_frame> --mutate FILE COUNT [SEED] [FLIPS]
+//
+// File mode replays each file and prints one line per input; a violated
+// harness invariant aborts (non-zero exit), just like a fuzzer crash.
+// Random mode is a deterministic smoke sweep: COUNT inputs of splitmix64
+// bytes, lengths cycling through [0, MAXLEN). Mutate mode is the poor
+// man's fuzzer for toolchains without libFuzzer: COUNT variants of FILE,
+// each with up to FLIPS random byte XORs — starting from a valid seed, so
+// the deep (accept/execute) paths get hit, not just the reject paths.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/harness.hpp"
+
+namespace {
+
+using HarnessFn = int (*)(const std::uint8_t*, std::size_t);
+
+HarnessFn resolve(const std::string& name) {
+  if (name == "region_image") return wtc::fuzz::fuzz_region_image;
+  if (name == "minivm") return wtc::fuzz::fuzz_minivm;
+  if (name == "ipc_frame") return wtc::fuzz::fuzz_ipc_frame;
+  return nullptr;
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+int run_random(HarnessFn fn, std::uint64_t count, std::uint64_t seed,
+               std::size_t max_len) {
+  std::uint64_t state = seed;
+  std::vector<std::uint8_t> input;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t len = static_cast<std::size_t>(splitmix64(state) % max_len);
+    input.resize(len);
+    for (std::size_t b = 0; b < len; b += 8) {
+      const std::uint64_t word = splitmix64(state);
+      for (std::size_t k = 0; k < 8 && b + k < len; ++k) {
+        input[b + k] = static_cast<std::uint8_t>(word >> (8 * k));
+      }
+    }
+    fn(input.data(), input.size());
+    if ((i + 1) % 1000 == 0) {
+      std::fprintf(stderr, "random: %llu/%llu inputs ok\n",
+                   static_cast<unsigned long long>(i + 1),
+                   static_cast<unsigned long long>(count));
+    }
+  }
+  std::printf("random: %llu inputs ok (seed %llu, maxlen %zu)\n",
+              static_cast<unsigned long long>(count),
+              static_cast<unsigned long long>(seed), max_len);
+  return 0;
+}
+
+int run_mutate(HarnessFn fn, const std::vector<std::uint8_t>& base,
+               std::uint64_t count, std::uint64_t seed, std::uint64_t flips) {
+  std::uint64_t state = seed;
+  std::vector<std::uint8_t> input;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    input = base;
+    if (!input.empty()) {
+      const std::uint64_t n = 1 + splitmix64(state) % flips;
+      for (std::uint64_t f = 0; f < n; ++f) {
+        const std::uint64_t word = splitmix64(state);
+        input[word % input.size()] ^=
+            static_cast<std::uint8_t>(word >> 32) | 1u;
+      }
+    }
+    fn(input.data(), input.size());
+    if ((i + 1) % 1000 == 0) {
+      std::fprintf(stderr, "mutate: %llu/%llu variants ok\n",
+                   static_cast<unsigned long long>(i + 1),
+                   static_cast<unsigned long long>(count));
+    }
+  }
+  std::printf("mutate: %llu variants ok (seed %llu, flips <= %llu)\n",
+              static_cast<unsigned long long>(count),
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(flips));
+  return 0;
+}
+
+std::vector<std::uint8_t> slurp(const char* path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  ok = static_cast<bool>(in);
+  if (!ok) return {};
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  return {bytes.begin(), bytes.end()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <region_image|minivm|ipc_frame> FILE...\n"
+                 "       %s <target> --random COUNT [SEED] [MAXLEN]\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  const HarnessFn fn = resolve(argv[1]);
+  if (fn == nullptr) {
+    std::fprintf(stderr, "unknown target '%s'\n", argv[1]);
+    return 2;
+  }
+
+  if (std::strcmp(argv[2], "--mutate") == 0) {
+    if (argc < 5) {
+      std::fprintf(stderr, "--mutate needs FILE COUNT\n");
+      return 2;
+    }
+    bool ok = false;
+    const std::vector<std::uint8_t> base = slurp(argv[3], ok);
+    if (!ok) {
+      std::fprintf(stderr, "cannot open %s\n", argv[3]);
+      return 1;
+    }
+    const std::uint64_t count = std::strtoull(argv[4], nullptr, 10);
+    const std::uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+    const std::uint64_t flips =
+        argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 8;
+    return run_mutate(fn, base, count, seed, flips == 0 ? 1 : flips);
+  }
+
+  if (std::strcmp(argv[2], "--random") == 0) {
+    if (argc < 4) {
+      std::fprintf(stderr, "--random needs COUNT\n");
+      return 2;
+    }
+    const std::uint64_t count = std::strtoull(argv[3], nullptr, 10);
+    const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+    const std::size_t max_len =
+        argc > 5 ? static_cast<std::size_t>(std::strtoull(argv[5], nullptr, 10))
+                 : 160;
+    return run_random(fn, count, seed, max_len == 0 ? 1 : max_len);
+  }
+
+  for (int i = 2; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    fn(reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    std::printf("ok %s (%zu bytes)\n", argv[i], bytes.size());
+  }
+  return 0;
+}

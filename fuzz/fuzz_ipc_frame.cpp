@@ -1,0 +1,8 @@
+// libFuzzer entry point for the IPC-frame harness (build with
+// -DWTC_FUZZ=ON under Clang; see fuzz/CMakeLists.txt).
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return wtc::fuzz::fuzz_ipc_frame(data, size);
+}

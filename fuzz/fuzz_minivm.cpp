@@ -1,0 +1,8 @@
+// libFuzzer entry point for the MiniVM harness (build with -DWTC_FUZZ=ON
+// under Clang; see fuzz/CMakeLists.txt).
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return wtc::fuzz::fuzz_minivm(data, size);
+}

@@ -1,0 +1,190 @@
+// IPC-frame harness: crafted frames against the reliable-delivery layer,
+// cross-checked against an independent model of its contract.
+//
+// Input grammar: a byte stream consumed as operations, two bits selecting
+// the kind (exhausted bytes read as zero; at most 64 ops):
+//   0 — a well-formed-ish data frame with deliberately small from/channel/
+//       seq spaces so duplicate and out-of-order paths are actually hit;
+//   1 — a truncated data frame (fewer than the 4 framing args);
+//   2 — an arbitrary message (random type and shape);
+//   3 — a crafted ack fed to the sender (forged acks must not break its
+//       pending-frame accounting).
+//
+// The model (built from reliable.hpp's documented contract, not its code):
+//   * a frame is malformed iff type != kReliableData or args < 4, and is
+//     then dropped without an ack;
+//   * otherwise it is accepted iff its (sender, channel-low-32, seq) was
+//     never accepted before and seq != 0 (seqs start at 1);
+//   * an accepted frame unwraps to exactly the inner message the framing
+//     encodes: type=args[2], from=args[3], args=args[4..];
+//   * accepted + duplicates_dropped + malformed == frames offered;
+//   * the sender consumes exactly the messages that are acks for its
+//     channel, and every launched frame ends acked or abandoned with
+//     nothing left in flight once the retry budget is drained.
+//
+// Two genuine reliable sends run alongside the crafted traffic so forged
+// acks interleave with real delivery, retries, and real acks.
+#include "fuzz/harness.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "sim/node.hpp"
+#include "sim/reliable.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace wtc::fuzz {
+namespace {
+
+class PlainProcess final : public sim::Process {
+ public:
+  std::function<void(const sim::Message&)> handler;
+  void on_message(const sim::Message& message) override {
+    if (handler) handler(message);
+  }
+};
+
+/// Zero-padded byte reader: past-the-end reads yield 0, so every input
+/// prefix decodes to a complete op sequence.
+struct ByteReader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  std::uint8_t next() { return pos < size ? data[pos++] : 0; }
+  [[nodiscard]] bool done() const { return pos >= size; }
+};
+
+}  // namespace
+
+int fuzz_ipc_frame(const std::uint8_t* data, std::size_t size) {
+  sim::Scheduler scheduler;
+  sim::Node node(scheduler);
+  auto recv_proc = std::make_shared<PlainProcess>();
+  auto send_proc = std::make_shared<PlainProcess>();
+  const sim::ProcessId recv_pid = node.spawn("receiver", recv_proc);
+  const sim::ProcessId send_pid = node.spawn("sender", send_proc);
+
+  constexpr std::uint32_t kChannel = 5;
+  sim::ReliableReceiver receiver(*recv_proc);
+  sim::ReliableSender sender(*send_proc, kChannel,
+                             [recv_pid]() { return recv_pid; });
+
+  std::uint64_t frames_offered = 0;
+  std::set<std::tuple<sim::ProcessId, std::uint64_t, std::uint64_t>> accepted_keys;
+  auto feed = [&](const sim::Message& frame) {
+    const std::optional<sim::Message> out = receiver.accept(frame);
+    ++frames_offered;
+    const bool malformed =
+        frame.type != sim::kReliableData || frame.args.size() < 4;
+    if (malformed) {
+      require(!out.has_value(), "malformed frame never unwraps");
+    } else {
+      const std::uint64_t channel = frame.args[0] & 0xFFFFFFFFu;
+      const std::uint64_t seq = frame.args[1];
+      const auto key = std::make_tuple(frame.from, channel, seq);
+      const bool fresh = seq != 0 && accepted_keys.count(key) == 0;
+      require(out.has_value() == fresh,
+              "accept/duplicate decision matches the dedup model");
+      if (fresh) {
+        accepted_keys.insert(key);
+        require(out->type == static_cast<std::uint32_t>(frame.args[2]),
+                "inner type echoes the framing");
+        require(out->from == static_cast<sim::ProcessId>(frame.args[3]),
+                "inner sender echoes the framing");
+        require(out->args.size() + 4 == frame.args.size(),
+                "inner payload length echoes the framing");
+        require(std::equal(out->args.begin(), out->args.end(),
+                           frame.args.begin() + 4),
+                "inner payload bytes echo the framing");
+      }
+    }
+    require(receiver.accepted() + receiver.duplicates_dropped() +
+                    receiver.malformed() ==
+                frames_offered,
+            "every offered frame lands in exactly one accounting bucket");
+  };
+  recv_proc->handler = [&](const sim::Message& message) {
+    if (message.type == sim::kReliableData) feed(message);
+  };
+  send_proc->handler = [&](const sim::Message& message) {
+    (void)sender.on_message(message);
+  };
+
+  // Two genuine sends: their frames, retries, and acks interleave with the
+  // crafted traffic below through the same receiver and sender.
+  sim::Message inner;
+  inner.type = 0x77;
+  inner.from = send_pid;
+  inner.args = {1, 2, 3};
+  sender.send(inner);
+  sender.send(inner);
+  const std::uint64_t launched = 2;
+
+  ByteReader reader{data, size};
+  int ops = 0;
+  while (!reader.done() && ops++ < 64) {
+    switch (reader.next() & 3u) {
+      case 0: {  // well-formed-ish data frame, small id spaces
+        sim::Message m;
+        m.type = sim::kReliableData;
+        m.from = reader.next() % 5;
+        const std::uint64_t channel = reader.next() % 4;
+        const std::uint64_t seq = reader.next() % 8;
+        m.args = {channel, seq, reader.next(), reader.next()};
+        const unsigned extra = reader.next() % 3;
+        for (unsigned k = 0; k < extra; ++k) m.args.push_back(reader.next());
+        feed(m);
+        break;
+      }
+      case 1: {  // truncated frame: fewer than the 4 framing args
+        sim::Message m;
+        m.type = sim::kReliableData;
+        m.from = reader.next() % 5;
+        const unsigned count = reader.next() % 4;
+        for (unsigned k = 0; k < count; ++k) m.args.push_back(reader.next());
+        feed(m);
+        break;
+      }
+      case 2: {  // arbitrary message type and shape
+        sim::Message m;
+        m.from = reader.next() % 5;
+        m.type = static_cast<std::uint32_t>(reader.next()) |
+                 (static_cast<std::uint32_t>(reader.next()) << 8) |
+                 (static_cast<std::uint32_t>(reader.next()) << 16) |
+                 (static_cast<std::uint32_t>(reader.next()) << 24);
+        const unsigned count = reader.next() % 6;
+        for (unsigned k = 0; k < count; ++k) m.args.push_back(reader.next());
+        feed(m);
+        break;
+      }
+      case 3: {  // crafted (possibly forged) ack into the sender
+        sim::Message ack;
+        ack.from = reader.next() % 5;
+        ack.type = (reader.next() & 1u) ? sim::kReliableAck : reader.next();
+        const unsigned count = reader.next() % 3;
+        for (unsigned k = 0; k < count; ++k) ack.args.push_back(reader.next() % 8);
+        const bool consumable = ack.type == sim::kReliableAck &&
+                                ack.args.size() >= 2 && ack.args[0] == kChannel;
+        require(sender.on_message(ack) == consumable,
+                "sender consumes exactly its channel's acks");
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Drain delivery, retries, and the full abandon backoff (~6.2 s at the
+  // default config), then settle the sender's books.
+  scheduler.run_until(30 * static_cast<sim::Time>(sim::kSecond));
+  require(sender.in_flight() == 0,
+          "nothing left in flight once the retry budget is drained");
+  require(sender.acked() + sender.abandoned() == launched,
+          "every launched frame ends acked or abandoned");
+  return 0;
+}
+
+}  // namespace wtc::fuzz

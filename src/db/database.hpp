@@ -230,17 +230,6 @@ class Database {
   [[nodiscard]] std::uint64_t region_dirty_chunks_since(
       std::size_t offset, std::size_t len, std::uint64_t gen) const noexcept;
 
-  /// Deprecated pre-sharding name: reads as if there were one global
-  /// region, which stopped being true when regions multiplied. Forwards to
-  /// region_dirty_chunks_since; new code must name the scope explicitly.
-  [[deprecated(
-      "regions are per-shard now; use region_dirty_chunks_since (this "
-      "Database's region) or ShardedDb::dirty_chunks_since(shard, ...)")]]
-  [[nodiscard]] std::uint64_t dirty_chunks_since(
-      std::size_t offset, std::size_t len, std::uint64_t gen) const noexcept {
-    return region_dirty_chunks_since(offset, len, gen);
-  }
-
   // --- shadow group/free indexes (O(1) API hot path; see index.hpp) ---
   // One TableIndex per table, living outside the audited region. Kept in
   // sync by mark_written: a store write overlapping a record's status or

@@ -1,11 +1,14 @@
 #include "db/disk.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <fstream>
 #include <vector>
 
 #include "common/crc32.hpp"
+#include "db/layout.hpp"
+#include "obs/metrics.hpp"
 
 namespace wtc::db {
 namespace {
@@ -19,89 +22,193 @@ void put_u32(std::vector<std::byte>& out, std::uint32_t value) {
   out.insert(out.end(), bytes, bytes + 4);
 }
 
-std::uint32_t get_u32(const std::vector<std::byte>& in, std::size_t offset) {
+std::uint32_t get_u32(std::span<const std::byte> in, std::size_t offset) {
   std::uint32_t value = 0;
   std::memcpy(&value, in.data() + offset, 4);
   return value;
 }
 
-DiskResult fail(std::string message) {
-  return DiskResult{false, std::move(message)};
+DiskResult fail(DiskError code, std::string message) {
+  return DiskResult{false, code, std::move(message)};
 }
 
-DiskResult read_and_check(const std::filesystem::path& path,
+DiskResult ok() { return DiskResult{true, DiskError::None, {}}; }
+
+/// Envelope checks: magic, version, declared length, crc32. On success
+/// `payload` holds the raw region bytes.
+DiskResult parse_envelope(std::span<const std::byte> raw,
                           std::vector<std::byte>& payload) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) {
-    return fail("cannot open " + path.string());
-  }
-  const std::streamsize file_size = in.tellg();
-  in.seekg(0);
-  std::vector<std::byte> raw(static_cast<std::size_t>(std::max<std::streamsize>(
-      file_size, 0)));
-  if (!raw.empty() &&
-      !in.read(reinterpret_cast<char*>(raw.data()), file_size)) {
-    return fail("cannot read " + path.string());
-  }
   if (raw.size() < kImageHeaderBytes) {
-    return fail("image truncated: " + path.string());
+    return fail(DiskError::Truncated, "image truncated");
   }
   if (get_u32(raw, 0) != kImageMagic) {
-    return fail("not a database image: " + path.string());
+    return fail(DiskError::BadMagic, "not a database image");
   }
   if (get_u32(raw, 4) != kImageVersion) {
-    return fail("unsupported image version");
+    return fail(DiskError::BadVersion, "unsupported image version");
   }
   const std::uint32_t size = get_u32(raw, 8);
   const std::uint32_t crc = get_u32(raw, 12);
   if (raw.size() != kImageHeaderBytes + size) {
-    return fail("image size mismatch");
+    return fail(DiskError::LengthMismatch, "image size mismatch");
   }
   payload.assign(raw.begin() + kImageHeaderBytes, raw.end());
   if (common::crc32(payload) != crc) {
-    return fail("image checksum mismatch (permanent storage corrupted)");
+    return fail(DiskError::ChecksumMismatch,
+                "image checksum mismatch (permanent storage corrupted)");
   }
-  return DiskResult{true, {}};
+  return ok();
+}
+
+/// Structural validation of a size-checked payload against the target
+/// database's trusted schema/layout: the catalog bytes must be exactly the
+/// canonical serialization, and every record header must satisfy the
+/// invariants the structural audit enforces (canonical id tag, known
+/// status magic, in-range group, the dynamic free/active group rule, and
+/// next links listing each group's records in index order). An image that
+/// fails any of these would become an unrepairable recovery source: the
+/// audit reloads from the installed pristine copy, so corrupt pristine
+/// structure is re-installed on every repair and the sweep never
+/// converges.
+DiskResult validate_structure(const Database& db,
+                              std::span<const std::byte> payload) {
+  const Layout& layout = db.layout();
+
+  std::vector<std::byte> canonical(layout.region_size());
+  format_region(canonical, db.schema(), layout);
+  if (!std::equal(payload.begin(),
+                  payload.begin() +
+                      static_cast<std::ptrdiff_t>(layout.catalog_size()),
+                  canonical.begin())) {
+    return fail(DiskError::ImageCorrupt, "image corrupt: catalog bytes do not "
+                                         "match this database's schema");
+  }
+
+  for (std::size_t t = 0; t < layout.tables().size(); ++t) {
+    const auto& tl = layout.tables()[t];
+    const bool dynamic = db.schema().tables[t].dynamic;
+    // Walk records high-to-low so next_in_group[g] is the index of the
+    // nearest same-group record after the current one.
+    std::array<std::uint32_t, kMaxGroups> next_in_group;
+    next_in_group.fill(kNilLink);
+    for (RecordIndex r = tl.num_records; r-- > 0;) {
+      const auto header = load_record_header(
+          payload, tl.offset + static_cast<std::size_t>(r) * tl.record_size);
+      if (header.id_tag != expected_id_tag(static_cast<TableId>(t), r)) {
+        return fail(DiskError::ImageCorrupt, "image corrupt: bad record id tag");
+      }
+      if (header.status != kStatusFree && header.status != kStatusActive) {
+        return fail(DiskError::ImageCorrupt, "image corrupt: bad record status");
+      }
+      if (header.group >= kMaxGroups) {
+        return fail(DiskError::ImageCorrupt,
+                    "image corrupt: record group out of range");
+      }
+      if (dynamic && ((header.status == kStatusFree && header.group != 0) ||
+                      (header.status == kStatusActive && header.group == 0))) {
+        return fail(DiskError::ImageCorrupt,
+                    "image corrupt: record status/group disagree");
+      }
+      if (header.next != next_in_group[header.group]) {
+        return fail(DiskError::ImageCorrupt,
+                    "image corrupt: group chain link out of order");
+      }
+      next_in_group[header.group] = r;
+    }
+  }
+  return ok();
+}
+
+DiskResult load_checked(Database& db, std::span<const std::byte> file_bytes) {
+  std::vector<std::byte> payload;
+  if (auto checked = parse_envelope(file_bytes, payload); !checked) {
+    return checked;
+  }
+  // Bounds-check against the catalog-described region size BEFORE any
+  // copy: a truncated or oversized payload must never partially install.
+  if (payload.size() != db.layout().region_size()) {
+    return fail(DiskError::RegionSizeMismatch,
+                "image does not match this database's schema/layout "
+                "(region size mismatch)");
+  }
+  if (auto valid = validate_structure(db, payload); !valid) {
+    return valid;
+  }
+  if (!db.install_image(payload)) {
+    return fail(DiskError::ImageCorrupt,
+                "image does not match this database's schema/layout");
+  }
+  return ok();
 }
 
 }  // namespace
 
-DiskResult save_image(const Database& db, const std::filesystem::path& path) {
-  const auto pristine = db.pristine();
+std::vector<std::byte> make_image_bytes(std::span<const std::byte> payload) {
   std::vector<std::byte> out;
-  out.reserve(kImageHeaderBytes + pristine.size());
+  out.reserve(kImageHeaderBytes + payload.size());
   put_u32(out, kImageMagic);
   put_u32(out, kImageVersion);
-  put_u32(out, static_cast<std::uint32_t>(pristine.size()));
-  put_u32(out, common::crc32(pristine));
-  out.insert(out.end(), pristine.begin(), pristine.end());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, common::crc32(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+DiskResult save_image(const Database& db, const std::filesystem::path& path) {
+  const std::vector<std::byte> out = make_image_bytes(db.pristine());
 
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) {
-    return fail("cannot write " + path.string());
+    return fail(DiskError::OpenFailed, "cannot write " + path.string());
   }
   file.write(reinterpret_cast<const char*>(out.data()),
              static_cast<std::streamsize>(out.size()));
   if (!file.good()) {
-    return fail("short write to " + path.string());
+    return fail(DiskError::OpenFailed, "short write to " + path.string());
   }
-  return DiskResult{true, {}};
+  return ok();
 }
 
 DiskResult load_image(Database& db, const std::filesystem::path& path) {
-  std::vector<std::byte> payload;
-  if (auto checked = read_and_check(path, payload); !checked) {
-    return checked;
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    obs::count(obs::Counter::db_images_rejected);
+    return fail(DiskError::OpenFailed, "cannot open " + path.string());
   }
-  if (!db.install_image(payload)) {
-    return fail("image does not match this database's schema/layout");
+  const std::streamsize file_size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> raw(
+      static_cast<std::size_t>(std::max<std::streamsize>(file_size, 0)));
+  if (!raw.empty() && !in.read(reinterpret_cast<char*>(raw.data()), file_size)) {
+    obs::count(obs::Counter::db_images_rejected);
+    return fail(DiskError::OpenFailed, "cannot read " + path.string());
   }
-  return DiskResult{true, {}};
+  return load_image_bytes(db, raw);
+}
+
+DiskResult load_image_bytes(Database& db,
+                            std::span<const std::byte> file_bytes) {
+  auto result = load_checked(db, file_bytes);
+  if (!result) {
+    obs::count(obs::Counter::db_images_rejected);
+  }
+  return result;
 }
 
 DiskResult verify_image(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return fail(DiskError::OpenFailed, "cannot open " + path.string());
+  }
+  const std::streamsize file_size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> raw(
+      static_cast<std::size_t>(std::max<std::streamsize>(file_size, 0)));
+  if (!raw.empty() && !in.read(reinterpret_cast<char*>(raw.data()), file_size)) {
+    return fail(DiskError::OpenFailed, "cannot read " + path.string());
+  }
   std::vector<std::byte> payload;
-  return read_and_check(path, payload);
+  return parse_envelope(raw, payload);
 }
 
 }  // namespace wtc::db

@@ -8,24 +8,61 @@
 // restored from across process lifetimes.
 //
 // Image format: {magic, version, size, crc32} header + raw region bytes.
-// Loads verify size and checksum, so a corrupted image is rejected rather
-// than silently booting a damaged controller.
+// Loads verify, in order: the file envelope (magic/version/length/crc),
+// the payload length against the catalog-described region size of the
+// *target* database, and the structural invariants the audit assumes of
+// permanent storage (canonical catalog bytes, well-formed record
+// headers). Only then is a single byte copied into the live region.
+//
+// The structural pass matters for recovery convergence: install makes the
+// image both the live region AND the recovery source, so a crc-valid image
+// with corrupt headers would poison the golden copy — every structural
+// reload would faithfully restore the corruption and the audit could
+// never reach a clean pass. Rejecting such images at the door keeps the
+// audit→repair→re-audit loop terminating (the fuzz_region_image
+// invariant).
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
+#include <span>
 #include <string>
 
 #include "db/database.hpp"
 
 namespace wtc::db {
 
-/// Result of a disk-image operation; `ok()` or a human-readable error.
+/// Distinct rejection causes of a disk-image operation. Callers that only
+/// care about success keep using `operator bool`; the fuzz harnesses and
+/// tests branch on the code instead of grepping the message.
+enum class DiskError : std::uint8_t {
+  None = 0,
+  OpenFailed,          ///< file missing / unreadable / unwritable
+  Truncated,           ///< file shorter than the fixed image header
+  BadMagic,            ///< not a database image
+  BadVersion,          ///< image format version not understood
+  LengthMismatch,      ///< payload length disagrees with the header's size
+  ChecksumMismatch,    ///< payload bytes fail the header crc32
+  RegionSizeMismatch,  ///< payload length != this database's region size
+  ImageCorrupt,        ///< crc-valid but structurally invalid content
+};
+
+/// Result of a disk-image operation; `ok()` or a coded, human-readable
+/// error.
 struct DiskResult {
   bool success = false;
+  DiskError code = DiskError::None;
   std::string error;
 
   [[nodiscard]] explicit operator bool() const noexcept { return success; }
 };
+
+/// Serializes arbitrary region bytes into the image file format (header +
+/// payload) — the envelope load_image_bytes parses. The single source of
+/// truth for the format; save_image delegates here, and the corpus tooling
+/// uses it to build images of non-pristine (live) states.
+[[nodiscard]] std::vector<std::byte> make_image_bytes(
+    std::span<const std::byte> payload);
 
 /// Writes the database's PRISTINE image to `path` (the startup state is
 /// what "permanent storage" holds; live dynamic state is never persisted).
@@ -33,11 +70,18 @@ DiskResult save_image(const Database& db, const std::filesystem::path& path);
 
 /// Verifies and loads the image at `path` into the live region AND makes
 /// it the recovery source — the boot-from-disk path. Fails (and leaves the
-/// database untouched) on size mismatch or checksum failure.
+/// database untouched) on any envelope, size, or structural error.
 DiskResult load_image(Database& db, const std::filesystem::path& path);
 
+/// Memory-backed variant of load_image: `file_bytes` is the full image
+/// file content (header + payload). Same validation and same all-or-
+/// nothing guarantee; this is the entry point the fuzz harness drives, so
+/// every check load_image performs must live on this path.
+DiskResult load_image_bytes(Database& db, std::span<const std::byte> file_bytes);
+
 /// Verifies an image file without loading it (integrity check of the
-/// permanent storage itself).
+/// permanent storage itself). Envelope checks only — structural checks
+/// need a target database's schema.
 DiskResult verify_image(const std::filesystem::path& path);
 
 }  // namespace wtc::db

@@ -119,8 +119,8 @@ class ShardedDb {
     return mutexes_.at(s);
   }
 
-  /// Shard-addressed dirty-chunk query: the shard-aware successor of the
-  /// deprecated Database::dirty_chunks_since. Offsets and the generation
+  /// Shard-addressed dirty-chunk query: the shard-aware counterpart of
+  /// Database::region_dirty_chunks_since. Offsets and the generation
   /// watermark are local to shard `s`'s region.
   [[nodiscard]] std::uint64_t dirty_chunks_since(std::uint32_t s,
                                                  std::size_t offset,

@@ -28,6 +28,7 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "db.dirty_chunk_stamps",
     "db.scrubs",
     "db.reloads",
+    "db.images_rejected",
     "db.index_hits",
     "db.index_splices",
     "db.index_resyncs",

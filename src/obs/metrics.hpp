@@ -59,6 +59,7 @@ enum class Counter : std::uint16_t {
   db_dirty_chunk_stamps,
   db_scrubs,
   db_reloads,
+  db_images_rejected,
   db_index_hits,
   db_index_splices,
   db_index_resyncs,

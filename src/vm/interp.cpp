@@ -172,6 +172,19 @@ sim::Duration VmProcess::execute(VmThread& thread, const Instr& instr,
     }
     return true;
   };
+  // Table and field ids are 16-bit in the database schema. A register or
+  // immediate value outside [0, 0xFFFF] must trap rather than truncate:
+  // a blind static_cast would alias out-of-range ids onto valid ones
+  // (0x10003 -> table 3), turning corrupted operands into well-formed
+  // calls against the wrong table.
+  const auto need_id16 = [&](std::int32_t value, std::uint16_t& out) -> bool {
+    if (value < 0 || value > 0xFFFF) {
+      raise(thread, Trap::IllegalOperand);
+      return false;
+    }
+    out = static_cast<std::uint16_t>(value);
+    return true;
+  };
   auto& regs = thread.regs_;
   const std::uint32_t next = thread.pc_ + 1;
   sim::Duration db_cost = 0;
@@ -341,10 +354,11 @@ sim::Duration VmProcess::execute(VmThread& thread, const Instr& instr,
     // --- database bindings ---
     case Opcode::DbAlloc: {
       if (!need_reg(instr.rd) || !need_reg(instr.ra) || !need_reg(instr.rb)) break;
+      db::TableId table = 0;
+      if (!need_id16(regs[instr.ra], table)) break;
       db::RecordIndex out = 0;
-      const auto status = api_.alloc_rec(
-          static_cast<db::TableId>(static_cast<std::uint32_t>(regs[instr.ra])),
-          static_cast<std::uint32_t>(regs[instr.rb]), out);
+      const auto status =
+          api_.alloc_rec(table, static_cast<std::uint32_t>(regs[instr.rb]), out);
       regs[instr.rd] =
           status == db::Status::Ok ? static_cast<std::int32_t>(out) : -1;
       regs[kDbStatusReg] = static_cast<std::int32_t>(status);
@@ -354,9 +368,10 @@ sim::Duration VmProcess::execute(VmThread& thread, const Instr& instr,
     }
     case Opcode::DbFree: {
       if (!need_reg(instr.ra) || !need_reg(instr.rb)) break;
-      const auto status = api_.free_rec(
-          static_cast<db::TableId>(static_cast<std::uint32_t>(regs[instr.ra])),
-          static_cast<db::RecordIndex>(regs[instr.rb]));
+      db::TableId table = 0;
+      if (!need_id16(regs[instr.ra], table)) break;
+      const auto status =
+          api_.free_rec(table, static_cast<db::RecordIndex>(regs[instr.rb]));
       regs[kDbStatusReg] = static_cast<std::int32_t>(status);
       db_cost = db::api_cost(db::ApiOp::Free, api_.instrumented());
       thread.pc_ = next;
@@ -364,11 +379,12 @@ sim::Duration VmProcess::execute(VmThread& thread, const Instr& instr,
     }
     case Opcode::DbReadFld: {
       if (!need_reg(instr.rd) || !need_reg(instr.ra) || !need_reg(instr.rb)) break;
+      db::TableId table = 0;
+      db::FieldId field = 0;
+      if (!need_id16(regs[instr.ra], table) || !need_id16(instr.imm, field)) break;
       std::int32_t value = 0;
       const auto status = api_.read_fld(
-          static_cast<db::TableId>(static_cast<std::uint32_t>(regs[instr.ra])),
-          static_cast<db::RecordIndex>(regs[instr.rb]),
-          static_cast<db::FieldId>(static_cast<std::uint32_t>(instr.imm)), value);
+          table, static_cast<db::RecordIndex>(regs[instr.rb]), field, value);
       if (status == db::Status::Ok) {
         regs[instr.rd] = value;
       }
@@ -379,10 +395,11 @@ sim::Duration VmProcess::execute(VmThread& thread, const Instr& instr,
     }
     case Opcode::DbWriteFld: {
       if (!need_reg(instr.rd) || !need_reg(instr.ra) || !need_reg(instr.rb)) break;
+      db::TableId table = 0;
+      db::FieldId field = 0;
+      if (!need_id16(regs[instr.ra], table) || !need_id16(instr.imm, field)) break;
       const auto status = api_.write_fld(
-          static_cast<db::TableId>(static_cast<std::uint32_t>(regs[instr.ra])),
-          static_cast<db::RecordIndex>(regs[instr.rb]),
-          static_cast<db::FieldId>(static_cast<std::uint32_t>(instr.imm)),
+          table, static_cast<db::RecordIndex>(regs[instr.rb]), field,
           regs[instr.rd]);
       regs[kDbStatusReg] = static_cast<std::int32_t>(status);
       db_cost = db::api_cost(db::ApiOp::WriteFld, api_.instrumented());
@@ -391,10 +408,11 @@ sim::Duration VmProcess::execute(VmThread& thread, const Instr& instr,
     }
     case Opcode::DbMove: {
       if (!need_reg(instr.ra) || !need_reg(instr.rb)) break;
-      const auto status = api_.move_rec(
-          static_cast<db::TableId>(static_cast<std::uint32_t>(regs[instr.ra])),
-          static_cast<db::RecordIndex>(regs[instr.rb]),
-          static_cast<std::uint32_t>(instr.imm));
+      db::TableId table = 0;
+      if (!need_id16(regs[instr.ra], table)) break;
+      const auto status =
+          api_.move_rec(table, static_cast<db::RecordIndex>(regs[instr.rb]),
+                        static_cast<std::uint32_t>(instr.imm));
       regs[kDbStatusReg] = static_cast<std::int32_t>(status);
       db_cost = db::api_cost(db::ApiOp::Move, api_.instrumented());
       thread.pc_ = next;
@@ -402,8 +420,9 @@ sim::Duration VmProcess::execute(VmThread& thread, const Instr& instr,
     }
     case Opcode::DbTxnBegin: {
       if (!need_reg(instr.ra)) break;
-      const auto status = api_.txn_begin(
-          static_cast<db::TableId>(static_cast<std::uint32_t>(regs[instr.ra])));
+      db::TableId table = 0;
+      if (!need_id16(regs[instr.ra], table)) break;
+      const auto status = api_.txn_begin(table);
       regs[kDbStatusReg] = static_cast<std::int32_t>(status);
       db_cost = db::api_cost(db::ApiOp::TxnBegin, api_.instrumented());
       thread.pc_ = next;
@@ -411,8 +430,9 @@ sim::Duration VmProcess::execute(VmThread& thread, const Instr& instr,
     }
     case Opcode::DbTxnEnd: {
       if (!need_reg(instr.ra)) break;
-      const auto status = api_.txn_end(
-          static_cast<db::TableId>(static_cast<std::uint32_t>(regs[instr.ra])));
+      db::TableId table = 0;
+      if (!need_id16(regs[instr.ra], table)) break;
+      const auto status = api_.txn_end(table);
       regs[kDbStatusReg] = static_cast<std::int32_t>(status);
       db_cost = db::api_cost(db::ApiOp::TxnEnd, api_.instrumented());
       thread.pc_ = next;

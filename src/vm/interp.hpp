@@ -30,7 +30,9 @@ namespace wtc::vm {
 enum class Trap : std::uint8_t {
   None = 0,
   IllegalOpcode,   ///< undefined opcode byte (SIGILL analog)
-  IllegalOperand,  ///< register index >= kNumRegs (SIGILL analog)
+  IllegalOperand,  ///< register index >= kNumRegs, or a table/field id
+                   ///< operand outside the schema's 16-bit id space
+                   ///< (SIGILL analog)
   PcOutOfBounds,   ///< control transferred outside the text segment (SIGSEGV)
   MemOutOfBounds,  ///< data access outside the thread's memory (SIGSEGV)
   DivByZero,       ///< genuine divide-by-zero (SIGFPE)

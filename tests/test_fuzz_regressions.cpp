@@ -1,0 +1,94 @@
+// Replays the checked-in fuzz corpora through the harness entry points in
+// the normal (non-fuzz, any-compiler) build:
+//   * fuzz/corpus/regressions/<target>/ — every crash or invariant
+//     violation a fuzzer ever found lands here as a file, so each fix is
+//     pinned against regression on every ctest run;
+//   * fuzz/corpus/<target>/ — the seed corpus, so the documented harness
+//     invariants (repair idempotence above all) provably hold on every
+//     seed without a fuzzing toolchain.
+// A violated harness invariant abort()s, which gtest surfaces as a crashed
+// test — intentionally loud.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "fuzz/harness.hpp"
+
+namespace {
+
+using HarnessFn = int (*)(const std::uint8_t*, std::size_t);
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  return {bytes.begin(), bytes.end()};
+}
+
+/// Replays every regular file under `dir` (sorted, for deterministic
+/// ordering) through `fn`; returns the number replayed.
+std::size_t replay_dir(const std::filesystem::path& dir, HarnessFn fn) {
+  if (!std::filesystem::exists(dir)) {
+    return 0;
+  }
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.string());
+    const auto bytes = read_file(path);
+    fn(bytes.data(), bytes.size());
+  }
+  return files.size();
+}
+
+const std::filesystem::path kCorpusRoot = WTC_FUZZ_CORPUS_DIR;
+
+TEST(FuzzRegressions, RegionImage) {
+  replay_dir(kCorpusRoot / "regressions" / "region_image",
+             wtc::fuzz::fuzz_region_image);
+}
+
+TEST(FuzzRegressions, MiniVm) {
+  replay_dir(kCorpusRoot / "regressions" / "minivm", wtc::fuzz::fuzz_minivm);
+}
+
+TEST(FuzzRegressions, IpcFrame) {
+  replay_dir(kCorpusRoot / "regressions" / "ipc_frame",
+             wtc::fuzz::fuzz_ipc_frame);
+}
+
+// The seed corpora are part of the acceptance surface: every documented
+// harness invariant must hold on every seed, in every build.
+TEST(FuzzSeedCorpus, RegionImage) {
+  EXPECT_GE(replay_dir(kCorpusRoot / "region_image",
+                       wtc::fuzz::fuzz_region_image),
+            3u);
+}
+
+TEST(FuzzSeedCorpus, MiniVm) {
+  EXPECT_GE(replay_dir(kCorpusRoot / "minivm", wtc::fuzz::fuzz_minivm), 4u);
+}
+
+TEST(FuzzSeedCorpus, IpcFrame) {
+  EXPECT_GE(replay_dir(kCorpusRoot / "ipc_frame", wtc::fuzz::fuzz_ipc_frame),
+            2u);
+}
+
+// The empty input is every fuzzer's first probe; it must be boring.
+TEST(FuzzHarness, EmptyInputIsClean) {
+  EXPECT_EQ(wtc::fuzz::fuzz_region_image(nullptr, 0), 0);
+  EXPECT_EQ(wtc::fuzz::fuzz_minivm(nullptr, 0), 0);
+  EXPECT_EQ(wtc::fuzz::fuzz_ipc_frame(nullptr, 0), 0);
+}
+
+}  // namespace
