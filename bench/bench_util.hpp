@@ -12,6 +12,7 @@
 #include "db/shard_router.hpp"
 #include "experiments/audit_runner.hpp"
 #include "experiments/campaign.hpp"
+#include "experiments/replay_workload.hpp"
 #include "obs/capture.hpp"
 
 namespace wtc::bench {
@@ -149,15 +150,22 @@ inline std::string flag_str(int argc, char** argv, const char* name,
 ///    load in chrome://tracing) into the observability capture — when
 ///    neither is given no capture is installed and the instrumentation
 ///    stays inert (stdout is byte-identical), and
-/// 3. rejects any argv entry that matches no registered flag — a typo'd
+/// 3. wires `--record-oplog=<file>` (stream-record run 0's op log) and
+///    `--replay-oplog=<file>` (drive every run from a captured log via
+///    the zero-simulation engine) into run_audit_series, and
+/// 4. rejects any argv entry that matches no registered flag — a typo'd
 ///    flag name is a usage error, not a silently ignored no-op.
 inline void campaign_init(int argc, char** argv) {
   const std::size_t jobs = flag(argc, argv, "jobs", 0);
   const std::size_t progress = flag(argc, argv, "progress", 1);
   const std::string metrics = flag_str(argc, argv, "metrics", "");
   const std::string trace = flag_str(argc, argv, "trace", "");
+  const std::string record_oplog = flag_str(argc, argv, "record-oplog", "");
+  const std::string replay_oplog = flag_str(argc, argv, "replay-oplog", "");
   experiments::set_default_campaign_jobs(jobs);
   experiments::set_campaign_progress(progress != 0);
+  experiments::set_default_record_oplog(record_oplog);
+  experiments::set_default_replay_oplog(replay_oplog);
   if (!metrics.empty() || !trace.empty()) {
     obs::install_global_capture(metrics, trace);
   }

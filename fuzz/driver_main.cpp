@@ -5,9 +5,9 @@
 // coverage-guided fuzzers enforce.
 //
 // Usage:
-//   fuzz_driver <region_image|minivm|ipc_frame> FILE...
-//   fuzz_driver <region_image|minivm|ipc_frame> --random COUNT [SEED] [MAXLEN]
-//   fuzz_driver <region_image|minivm|ipc_frame> --mutate FILE COUNT [SEED] [FLIPS]
+//   fuzz_driver <region_image|minivm|ipc_frame|oplog> FILE...
+//   fuzz_driver <target> --random COUNT [SEED] [MAXLEN]
+//   fuzz_driver <target> --mutate FILE COUNT [SEED] [FLIPS]
 //
 // File mode replays each file and prints one line per input; a violated
 // harness invariant aborts (non-zero exit), just like a fuzzer crash.
@@ -33,6 +33,7 @@ HarnessFn resolve(const std::string& name) {
   if (name == "region_image") return wtc::fuzz::fuzz_region_image;
   if (name == "minivm") return wtc::fuzz::fuzz_minivm;
   if (name == "ipc_frame") return wtc::fuzz::fuzz_ipc_frame;
+  if (name == "oplog") return wtc::fuzz::fuzz_oplog;
   return nullptr;
 }
 
@@ -112,7 +113,7 @@ std::vector<std::uint8_t> slurp(const char* path, bool& ok) {
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s <region_image|minivm|ipc_frame> FILE...\n"
+                 "usage: %s <region_image|minivm|ipc_frame|oplog> FILE...\n"
                  "       %s <target> --random COUNT [SEED] [MAXLEN]\n",
                  argv[0], argv[0]);
     return 2;

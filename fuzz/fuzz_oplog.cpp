@@ -1,0 +1,8 @@
+// libFuzzer wrapper for the op-log harness (see harness_oplog.cpp for
+// the invariants). Built only with -DWTC_FUZZ=ON.
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return wtc::fuzz::fuzz_oplog(data, size);
+}

@@ -1,7 +1,7 @@
-// Fuzz harnesses over the three untrusted input surfaces (ROADMAP item 1):
-// on-disk region images, MiniVM instruction streams, and IPC frames — the
-// coverage-guided generalization of the paper's hand-rolled fault
-// injection campaigns.
+// Fuzz harnesses over the untrusted input surfaces (ROADMAP item 1):
+// on-disk region images, MiniVM instruction streams, IPC frames, and
+// on-disk op logs — the coverage-guided generalization of the paper's
+// hand-rolled fault injection campaigns.
 //
 // The entry points below contain ALL harness logic and are plain C++:
 // they build under any compiler and run under any sanitizer, so the same
@@ -64,5 +64,12 @@ int fuzz_minivm(const std::uint8_t* data, std::size_t size);
 /// and ReliableSender::on_message, cross-checked against a model of the
 /// dedup/accounting rules.
 int fuzz_ipc_frame(const std::uint8_t* data, std::size_t size);
+
+/// Input = an on-disk whole-run op log (--replay-oplog surface). Asserts
+/// the decoder's all-or-nothing guarantee, encode/decode round-trip
+/// stability of accepted logs, and that an accepted log replays
+/// deterministically: byte-identical regions across repeated application
+/// and thread-count-independent replay-audit results.
+int fuzz_oplog(const std::uint8_t* data, std::size_t size);
 
 }  // namespace wtc::fuzz

@@ -33,6 +33,7 @@ std::string_view technique_name(Technique technique) noexcept {
     case Technique::ProgressIndicator: return "progress-indicator";
     case Technique::ElementQuarantine: return "element-quarantine";
     case Technique::CfAttestation: return "cf-attestation";
+    case Technique::ReplayCheck: return "replay-check";
   }
   return "?";
 }
@@ -169,9 +170,9 @@ std::size_t AuditEngine::parallel_detect(
   return tasks;
 }
 
-sim::Duration AuditEngine::makespan_of(
-    const std::vector<sim::Duration>& task_costs) const {
-  const std::size_t workers = std::max<std::size_t>(1, config_.audit_threads);
+sim::Duration AuditEngine::greedy_makespan(
+    const std::vector<sim::Duration>& task_costs, std::size_t workers) {
+  workers = std::max<std::size_t>(1, workers);
   if (workers == 1) {
     sim::Duration sum = 0;
     for (const sim::Duration cost : task_costs) {
@@ -196,6 +197,11 @@ sim::Duration AuditEngine::makespan_of(
     makespan = std::max(makespan, worker);
   }
   return makespan;
+}
+
+sim::Duration AuditEngine::makespan_of(
+    const std::vector<sim::Duration>& task_costs) const {
+  return greedy_makespan(task_costs, config_.audit_threads);
 }
 
 void AuditEngine::report(Finding finding) {

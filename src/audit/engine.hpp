@@ -229,6 +229,13 @@ class AuditEngine {
   /// through the same sink; stamps the time.
   void report_external(Finding finding) { report(std::move(finding)); }
 
+  /// Deterministic critical path of `task_costs` greedily assigned (in
+  /// task order, to the least-loaded worker) across `workers` workers.
+  /// Shared by the engine's own scans and the replay audit's makespan
+  /// model, so both book parallel cost under the same discipline.
+  [[nodiscard]] static sim::Duration greedy_makespan(
+      const std::vector<sim::Duration>& task_costs, std::size_t workers);
+
  private:
   void report(Finding finding);
   [[nodiscard]] bool recently_written(db::TableId t, db::RecordIndex r) const;

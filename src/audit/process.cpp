@@ -5,6 +5,7 @@
 #include "audit/messages.hpp"
 #include "common/log.hpp"
 #include "db/direct.hpp"
+#include "db/run_op_log.hpp"
 #include "obs/metrics.hpp"
 
 namespace wtc::audit {
@@ -42,6 +43,9 @@ AuditProcess::AuditProcess(db::Database& db, sim::Cpu& cpu,
   }
   if (config_.low_resource_trigger) {
     add_element(std::make_unique<LowResourceTriggerElement>());
+  }
+  if (config_.replay_audit && config_.replay_log != nullptr) {
+    add_element(std::make_unique<ReplayAuditElement>());
   }
   if (config_.reliable_ipc) {
     reply_sender_.emplace(*this, msg::kChannelAuditReply,
@@ -192,6 +196,15 @@ bool AuditProcess::element_disabled(std::string_view name) const {
     }
   }
   return false;
+}
+
+const AuditElement* AuditProcess::find_element(std::string_view name) const {
+  for (const auto& slot : elements_) {
+    if (slot.element->name() == name) {
+      return slot.element.get();
+    }
+  }
+  return nullptr;
 }
 
 std::uint32_t AuditProcess::quarantined_count() const noexcept {
@@ -411,6 +424,60 @@ void LowResourceTriggerElement::scan(AuditProcess& process) {
   }
   process.schedule_after(process.config().low_resource_period, [this, &process]() {
     process.guarded(*this, [this, &process]() { scan(process); });
+  });
+}
+
+// --- ReplayAuditElement ---
+
+void ReplayAuditElement::on_start(AuditProcess& process) {
+  process.schedule_after(process.config().replay_period, [this, &process]() {
+    process.guarded(*this, [this, &process]() { tick(process); });
+  });
+}
+
+void ReplayAuditElement::tick(AuditProcess& process) {
+  const db::RunOpLog* log = process.config().replay_log;
+  if (log != nullptr) {
+    if (!auditor_) {
+      auditor_.emplace(process.database(), process.config().replay);
+    }
+    // Budget policy: each tick earns one cycle's allowance; a replay
+    // whose modelled cost (conservatively, every logged op — dedup
+    // savings are unknown until the chains are hashed) exceeds what has
+    // accumulated is deferred, so replay can never starve the structural
+    // arms of a bounded cycle. A zero budget means "always run".
+    const sim::Duration budget = process.config().engine.cycle_budget;
+    const auto& cfg = process.config().replay;
+    const sim::Duration estimate = static_cast<sim::Duration>(
+        static_cast<double>(log->recorded()) *
+        static_cast<double>(cfg.cost_per_op) * cfg.cost_scale);
+    bool run = true;
+    if (budget > 0) {
+      allowance_ += budget;
+      if (allowance_ < estimate) {
+        run = false;
+        obs::count(obs::Counter::audit_cycles_deferred);
+      }
+    }
+    if (run) {
+      const ReplayResult result = auditor_->run(log->events());
+      last_stats_ = result.stats;
+      ++runs_;
+      if (budget > 0) {
+        allowance_ -= std::min(allowance_, result.stats.dedup_cost);
+      }
+      for (const Finding& finding : result.findings) {
+        process.engine().report_external(finding);
+      }
+      CheckResult booked;
+      booked.findings = static_cast<std::uint32_t>(result.findings.size());
+      booked.cost = result.stats.dedup_cost;
+      process.book_cpu(booked.cost);
+      process.note_cycle(booked);
+    }
+  }
+  process.schedule_after(process.config().replay_period, [this, &process]() {
+    process.guarded(*this, [this, &process]() { tick(process); });
   });
 }
 

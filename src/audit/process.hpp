@@ -16,11 +16,16 @@
 #include "audit/engine.hpp"
 #include "audit/escalation.hpp"
 #include "audit/priority.hpp"
+#include "audit/replay.hpp"
 #include "audit/report.hpp"
 #include "db/api.hpp"
 #include "sim/cpu.hpp"
 #include "sim/node.hpp"
 #include "sim/reliable.hpp"
+
+namespace wtc::db {
+class RunOpLog;
+}
 
 namespace wtc::audit {
 
@@ -76,6 +81,17 @@ struct AuditProcessConfig {
 
   bool heartbeat = true;
 
+  /// Replay audit arm (ROADMAP item 1): periodically re-executes the
+  /// whole-run op log (deduplicated) against a shadow region and reports
+  /// any live-region divergence — the semantic-corruption net the
+  /// structural arms cannot cast. Requires `replay_log` (a RunOpLog tee
+  /// installed on the client's notification chain); recording must have
+  /// started at the pristine image.
+  bool replay_audit = false;
+  const db::RunOpLog* replay_log = nullptr;
+  sim::Duration replay_period = 20 * static_cast<sim::Duration>(sim::kSecond);
+  ReplayConfig replay;
+
   /// Hierarchical recovery escalation (the 5ESS-style strategy the
   /// paper's §2 builds on): repeated findings on a table escalate the
   /// localized repairs to a table reload, then to a full reload.
@@ -122,6 +138,9 @@ class AuditProcess final : public sim::Process {
   void send_reply(sim::ProcessId to, sim::Message message);
 
   [[nodiscard]] bool element_disabled(std::string_view name) const;
+  /// The registered element with this name (nullptr if absent) — result
+  /// harvesting; callers downcast to the concrete element type.
+  [[nodiscard]] const AuditElement* find_element(std::string_view name) const;
   /// Elements currently quarantined / element faults caught so far.
   [[nodiscard]] std::uint32_t quarantined_count() const noexcept;
   [[nodiscard]] std::uint64_t element_faults() const noexcept { return faults_; }
@@ -246,6 +265,34 @@ class LowResourceTriggerElement final : public AuditElement {
  private:
   void scan(AuditProcess& process);
   std::uint64_t sweeps_triggered_ = 0;
+};
+
+/// Replay audit trigger: every `replay_period`, re-executes the recorded
+/// op log against a shadow region (deduplicated chains on the worker
+/// pool) and reports every shadow/live divergence as a ReplayCheck
+/// finding. Cost is booked into the shared CPU under the engine's
+/// cycle-budget policy: with a budget set, a tick whose modelled cost
+/// exceeds the accumulated per-tick allowance defers to a later tick
+/// (counted as audit.cycles_deferred) instead of starving the
+/// structural arms.
+class ReplayAuditElement final : public AuditElement {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "replay-audit"; }
+  void on_start(AuditProcess& process) override;
+
+  [[nodiscard]] std::uint64_t runs() const noexcept { return runs_; }
+  [[nodiscard]] const ReplayStats& last_stats() const noexcept {
+    return last_stats_;
+  }
+
+ private:
+  void tick(AuditProcess& process);
+
+  std::optional<ReplayAuditor> auditor_;  ///< built on first tick
+  ReplayStats last_stats_;
+  std::uint64_t runs_ = 0;
+  /// Accumulated cycle-budget allowance (µs) not yet spent on replay.
+  sim::Duration allowance_ = 0;
 };
 
 /// Adapter: forwards instrumented-API notifications into the audit

@@ -20,6 +20,7 @@ enum class Technique : std::uint8_t {
   ProgressIndicator,  ///< database deadlock detection (§4.2)
   ElementQuarantine,  ///< audit main thread caught a faulty element
   CfAttestation,      ///< control-flow log attestation (ACFA-style)
+  ReplayCheck,        ///< deduplicated op-log re-execution (shadow compare)
 };
 
 /// Which recovery action accompanied the detection.

@@ -1,14 +1,17 @@
 #include "db/op_log.hpp"
 
 #include <algorithm>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
 
 namespace wtc::db {
 namespace {
 
 const std::vector<ApiEvent> kEmpty;
 
-bool same_record(const ApiEvent& a, const ApiEvent& b) {
-  return a.table == b.table && a.record == b.record;
+[[nodiscard]] std::uint64_t record_key(const ApiEvent& op) noexcept {
+  return static_cast<std::uint64_t>(op.table) << 32 | op.record;
 }
 
 }  // namespace
@@ -43,25 +46,27 @@ void ThreadOpLog::advance_watermark(std::uint32_t thread,
 
   // Compact the attested prefix: for every (table, record) keep only the
   // last attested op, and drop records the thread no longer holds (latest
-  // attested op is a Free). The unattested tail is kept verbatim.
+  // attested op is a Free). The unattested tail is kept verbatim. Linear:
+  // index the prefix's last op per record, then one forward pass into the
+  // reused scratch vector (the old version rescanned the prefix per op).
   const auto tail_begin = std::find_if(
       log.ops.begin(), log.ops.end(),
       [&](const ApiEvent& op) { return op.time > attested_up_to; });
-  std::vector<ApiEvent> compacted;
+  std::unordered_map<std::uint64_t, const ApiEvent*> last;
+  last.reserve(static_cast<std::size_t>(tail_begin - log.ops.begin()));
   for (auto it = log.ops.begin(); it != tail_begin; ++it) {
-    bool is_last = true;
-    for (auto later = std::next(it); later != tail_begin; ++later) {
-      if (same_record(*it, *later)) {
-        is_last = false;
-        break;
-      }
-    }
-    if (is_last && it->op != ApiOp::Free) {
-      compacted.push_back(*it);
+    last[record_key(*it)] = &*it;
+  }
+  scratch_.clear();
+  scratch_.reserve(log.ops.size());
+  for (auto it = log.ops.begin(); it != tail_begin; ++it) {
+    if (last[record_key(*it)] == &*it && it->op != ApiOp::Free) {
+      scratch_.push_back(*it);
     }
   }
-  compacted.insert(compacted.end(), tail_begin, log.ops.end());
-  log.ops = std::move(compacted);
+  scratch_.insert(scratch_.end(), tail_begin, log.ops.end());
+  log.ops.swap(scratch_);
+  obs::count(obs::Counter::oplog_compactions);
 }
 
 sim::Time ThreadOpLog::watermark(std::uint32_t thread) const noexcept {

@@ -52,6 +52,9 @@ class ThreadOpLog final : public NotificationSink {
   NotificationSink* next_;
   std::vector<PerThread> logs_;
   std::uint64_t recorded_ = 0;
+  /// Compaction scratch, reused across advance_watermark calls so the
+  /// attestation hot path allocates only when a log outgrows it.
+  std::vector<ApiEvent> scratch_;
 };
 
 }  // namespace wtc::db

@@ -1,6 +1,10 @@
 #include "experiments/audit_runner.hpp"
 
+#include <stdexcept>
+
+#include "db/run_op_log.hpp"
 #include "experiments/campaign.hpp"
+#include "experiments/replay_workload.hpp"
 #include "manager/manager.hpp"
 #include "sim/cpu.hpp"
 #include "sim/scheduler.hpp"
@@ -8,6 +12,11 @@
 namespace wtc::experiments {
 
 AuditRunResult run_audit_experiment(const AuditRunParams& params) {
+  if (!params.replay_oplog_path.empty()) {
+    // Zero-simulation path: the captured log IS the workload.
+    return run_replay_workload(params, params.replay_oplog_path);
+  }
+
   sim::Scheduler scheduler;
   sim::Node node(scheduler);
   sim::Cpu cpu;
@@ -22,11 +31,31 @@ AuditRunResult run_audit_experiment(const AuditRunParams& params) {
 
   callproc::ClientDirectory directory(node, db);
 
+  // Whole-run op-log tee: records every successful API event ahead of the
+  // audit IPC adapter. Installed when a file capture was requested or the
+  // replay audit arm needs the in-memory log; recording starts at the
+  // pristine boot image, which is exactly the replay validity baseline.
+  audit::AuditProcessConfig audit_config = params.audit;
+  const bool recording =
+      !params.record_oplog_path.empty() || audit_config.replay_audit;
+
   // Audit process under manager supervision (Figure 1).
   sim::ProcessId audit_pid = sim::kNoProcess;
   std::shared_ptr<manager::Manager> mgr;
+
+  audit::IpcNotificationSink sink(node, [&audit_pid]() { return audit_pid; });
+  db::RunOpLog oplog(params.audits_enabled ? &sink : nullptr);
+  if (!params.record_oplog_path.empty() &&
+      !oplog.open_file(params.record_oplog_path)) {
+    throw std::runtime_error("cannot open op-log file '" +
+                             params.record_oplog_path + "' for recording");
+  }
+  if (audit_config.replay_audit) {
+    audit_config.replay_log = &oplog;
+  }
+
   const auto spawn_audit = [&]() {
-    auto process = std::make_shared<audit::AuditProcess>(db, cpu, params.audit,
+    auto process = std::make_shared<audit::AuditProcess>(db, cpu, audit_config,
                                                          &oracle, &directory);
     audit_pid = node.spawn("audit", process);
     return audit_pid;
@@ -40,21 +69,34 @@ AuditRunResult run_audit_experiment(const AuditRunParams& params) {
     }
   }
 
-  audit::IpcNotificationSink sink(node, [&audit_pid]() { return audit_pid; });
-
+  db::NotificationSink* client_sink =
+      recording ? static_cast<db::NotificationSink*>(&oplog)
+                : (params.audits_enabled
+                       ? static_cast<db::NotificationSink*>(&sink)
+                       : nullptr);
   auto client = std::make_shared<callproc::NativeCallClient>(
-      db, ids, cpu, rng.fork(1), params.client,
-      params.audits_enabled ? &sink : nullptr);
+      db, ids, cpu, rng.fork(1), params.client, client_sink);
   const sim::ProcessId client_pid = node.spawn("client", client);
   directory.register_client(client_pid, client.get());
 
-  auto injector = std::make_shared<inject::DbErrorInjector>(
-      db, oracle, rng.fork(2), params.injector);
-  node.spawn("injector", injector);
+  if (params.injections_enabled) {
+    auto injector = std::make_shared<inject::DbErrorInjector>(
+        db, oracle, rng.fork(2), params.injector);
+    node.spawn("injector", injector);
+  }
 
   scheduler.run_until(static_cast<sim::Time>(params.duration));
+  if (!params.record_oplog_path.empty() && !oplog.close_file()) {
+    throw std::runtime_error("op-log file '" + params.record_oplog_path +
+                             "' failed to flush cleanly");
+  }
 
   AuditRunResult result;
+  result.oplog_recorded = oplog.recorded();
+  if (params.capture_final_region) {
+    const auto region = db.region();
+    result.final_region.assign(region.begin(), region.end());
+  }
   result.oracle = oracle.summary();
   result.injections = oracle.records();
   result.client = client->stats();
@@ -70,6 +112,13 @@ AuditRunResult run_audit_experiment(const AuditRunParams& params) {
       result.audit_makespan = audit->engine().total_makespan();
       result.budget_exhausted_cycles = audit->engine().budget_exhausted_cycles();
       result.deferred_units = audit->engine().deferred_units_total();
+      if (const audit::AuditElement* element =
+              audit->find_element("replay-audit")) {
+        const auto* replay =
+            static_cast<const audit::ReplayAuditElement*>(element);
+        result.replay_runs = replay->runs();
+        result.replay = replay->last_stats();
+      }
     }
   }
   return result;
@@ -126,6 +175,16 @@ ErrorBreakdown classify_injections(
 }
 
 AggregateAuditResult run_audit_series(AuditRunParams params, std::size_t runs) {
+  // Process-wide --record-oplog/--replay-oplog defaults apply at the
+  // series level: recording captures run 0 only (one file, one log);
+  // replay substitutes the captured workload in every run.
+  if (params.record_oplog_path.empty()) {
+    params.record_oplog_path = default_record_oplog();
+  }
+  if (params.replay_oplog_path.empty()) {
+    params.replay_oplog_path = default_replay_oplog();
+  }
+
   // Per-run seeds: the same LCG chain the legacy serial loop advanced
   // in-place, precomputed so runs can execute in parallel.
   std::vector<std::uint64_t> seeds(runs);
@@ -142,6 +201,9 @@ AggregateAuditResult run_audit_series(AuditRunParams params, std::size_t runs) {
       [&](std::size_t i) {
         AuditRunParams run_params = params;
         run_params.seed = seeds[i];
+        if (i > 0) {
+          run_params.record_oplog_path.clear();  // run 0 owns the capture file
+        }
         return run_audit_experiment(run_params);
       },
       options);

@@ -24,11 +24,23 @@ struct AuditRunParams {
   sim::Duration duration = 2000 * static_cast<sim::Duration>(sim::kSecond);
   bool audits_enabled = true;
   bool with_manager = true;
+  /// Spawn the corruption injector (off for clean recording runs: a
+  /// clean run's region must be explainable by its op log alone).
+  bool injections_enabled = true;
   callproc::CallClientConfig client;
   inject::DbInjectorConfig injector;
   audit::AuditProcessConfig audit;
   db::ControllerSchemaParams schema;
   std::uint64_t seed = 1;
+
+  // --- op-log record/replay (ISSUE 10) ---
+  /// Stream-record the whole-run op log to this file (empty = none).
+  std::string record_oplog_path;
+  /// Drive the run from a captured log via the zero-simulation engine
+  /// instead of simulating call processing (empty = simulate normally).
+  std::string replay_oplog_path;
+  /// Copy the final region bytes into the result (byte-identity gates).
+  bool capture_final_region = false;
 };
 
 struct AuditRunResult {
@@ -54,6 +66,18 @@ struct AuditRunResult {
   std::uint64_t deferred_units = 0;
   std::uint32_t manager_restarts = 0;
   double avg_setup_ms = 0.0;
+
+  // --- op-log record/replay (ISSUE 10) ---
+  /// Successful API events captured by the run's RunOpLog tee.
+  std::uint64_t oplog_recorded = 0;
+  /// Replay-audit cycles executed and the last cycle's statistics.
+  std::uint64_t replay_runs = 0;
+  audit::ReplayStats replay;
+  /// Update ops re-applied / outcome divergences (zero-simulation runs).
+  std::uint64_t replay_applied = 0;
+  std::uint64_t replay_divergences = 0;
+  /// Final region bytes (when `capture_final_region`).
+  std::vector<std::byte> final_region;
 };
 
 [[nodiscard]] AuditRunResult run_audit_experiment(const AuditRunParams& params);

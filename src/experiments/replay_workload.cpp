@@ -1,0 +1,130 @@
+#include "experiments/replay_workload.hpp"
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "db/controller_schema.hpp"
+#include "db/run_op_log.hpp"
+
+namespace wtc::experiments {
+namespace {
+
+std::string& record_oplog_slot() {
+  static std::string path;
+  return path;
+}
+
+std::string& replay_oplog_slot() {
+  static std::string path;
+  return path;
+}
+
+}  // namespace
+
+void set_default_record_oplog(const std::string& path) {
+  record_oplog_slot() = path;
+}
+
+const std::string& default_record_oplog() noexcept {
+  return record_oplog_slot();
+}
+
+void set_default_replay_oplog(const std::string& path) {
+  replay_oplog_slot() = path;
+}
+
+const std::string& default_replay_oplog() noexcept {
+  return replay_oplog_slot();
+}
+
+ReplayWorkloadStats apply_op_log(db::Database& db,
+                                 std::span<const db::ApiEvent> events) {
+  ReplayWorkloadStats stats;
+  // The log interleaves clients in arrival order; each gets its own
+  // connection, exactly as in the recording run. The clock hands every
+  // API call its recorded timestamp so out-of-region metadata (lock
+  // stamps, access times) matches too — region bytes don't depend on it.
+  sim::Time now = 0;
+  std::map<sim::ProcessId, std::unique_ptr<db::DbApi>> clients;
+  const auto api_for = [&](sim::ProcessId pid) -> db::DbApi& {
+    auto& slot = clients[pid];
+    if (slot == nullptr) {
+      slot = std::make_unique<db::DbApi>(db, [&now]() { return now; });
+      slot->init(pid);
+    }
+    return *slot;
+  };
+  for (const db::ApiEvent& event : events) {
+    if (!event.is_update || event.status != db::Status::Ok) {
+      continue;
+    }
+    now = event.time;
+    db::DbApi& api = api_for(event.client);
+    api.set_thread_id(event.thread);
+    db::Status status = db::Status::Ok;
+    switch (event.op) {
+      case db::ApiOp::WriteRec:
+        status = api.write_rec(
+            event.table, event.record,
+            std::span<const std::int32_t>(event.payload.data(),
+                                          event.payload_len));
+        break;
+      case db::ApiOp::WriteFld:
+        status = event.payload_len >= 1
+                     ? api.write_fld(event.table, event.record, event.field,
+                                     event.payload[0])
+                     : db::Status::NoSuchField;
+        break;
+      case db::ApiOp::Move:
+        status = api.move_rec(event.table, event.record, event.group);
+        break;
+      case db::ApiOp::Alloc: {
+        db::RecordIndex out = 0;
+        status = api.alloc_rec(event.table, event.group, out);
+        if (status == db::Status::Ok && out != event.record) {
+          // Allocation is deterministic (lowest free index); a different
+          // index means the database was not at the recorded start state.
+          ++stats.divergences;
+        }
+        break;
+      }
+      case db::ApiOp::Free:
+        status = api.free_rec(event.table, event.record);
+        break;
+      default:
+        continue;  // Init/Close/Txn events are not region mutations
+    }
+    ++stats.applied;
+    if (status != db::Status::Ok) {
+      ++stats.divergences;
+    }
+  }
+  for (auto& [pid, api] : clients) {
+    api->close();
+  }
+  return stats;
+}
+
+AuditRunResult run_replay_workload(const AuditRunParams& params,
+                                   const std::string& path) {
+  const db::OpLogReadResult log = db::load_op_log(path);
+  if (!log.ok()) {
+    throw std::runtime_error("replay workload: cannot load op log '" + path +
+                             "': " + std::string(db::to_string(log.error)) +
+                             " at byte " + std::to_string(log.error_offset));
+  }
+  auto database = db::make_controller_database(params.schema);
+  const ReplayWorkloadStats stats = apply_op_log(*database, log.events);
+
+  AuditRunResult result;
+  result.replay_applied = stats.applied;
+  result.replay_divergences = stats.divergences;
+  if (params.capture_final_region) {
+    const auto region = database->region();
+    result.final_region.assign(region.begin(), region.end());
+  }
+  return result;
+}
+
+}  // namespace wtc::experiments

@@ -1,0 +1,60 @@
+// Zero-simulation workload engine: drives a database from a captured
+// whole-run op log (db/run_op_log.hpp) instead of simulating call
+// processing.
+//
+// A recorded run's region is a deterministic function of the op stream:
+// every mutation flowed through the instrumented API, allocation picks
+// the lowest free index, and link maintenance is canonical. Re-applying
+// the stream through a fresh DbApi therefore reproduces the recording
+// run's region byte-for-byte — with none of the scheduler, CPU, client
+// thread, or injector machinery. That is the workload arm of ISSUE 10:
+// the dominant cost of a bench campaign is re-simulating call
+// processing, and a captured log eliminates it (A16 gates >= 5x
+// wall-clock).
+//
+// The shipped `workloads/*.oplog` captures (handoff storm, registration
+// avalanche, diurnal load) are produced by tools/make_workloads with
+// this same machinery.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "db/api.hpp"
+#include "experiments/audit_runner.hpp"
+
+namespace wtc::experiments {
+
+struct ReplayWorkloadStats {
+  std::uint64_t applied = 0;  ///< update ops re-issued through the API
+  /// Re-issued ops whose outcome differed from the recording (non-Ok
+  /// status, or an alloc landing on a different index). Nonzero means
+  /// the log and the schema/seed state disagree — the replayed region
+  /// is not byte-comparable.
+  std::uint64_t divergences = 0;
+};
+
+/// Re-applies a recorded op stream to `db` through per-client DbApi
+/// handles. `db` must be at the state recording started from (pristine
+/// boot image for the shipped workloads).
+ReplayWorkloadStats apply_op_log(db::Database& db,
+                                 std::span<const db::ApiEvent> events);
+
+/// Zero-simulation experiment run: builds the controller database from
+/// `params.schema`, applies the log at `path`, and returns a result
+/// whose `final_region` (when `params.capture_final_region`) is
+/// byte-comparable against the recording run's.
+[[nodiscard]] AuditRunResult run_replay_workload(const AuditRunParams& params,
+                                                 const std::string& path);
+
+// Process-wide default paths, wired by the bench binaries'
+// `--record-oplog=<file>` / `--replay-oplog=<file>` flags
+// (bench_util.hpp) and consumed by run_audit_series: recording captures
+// run 0 of the series, replaying substitutes the zero-simulation engine
+// for every run.
+void set_default_record_oplog(const std::string& path);
+[[nodiscard]] const std::string& default_record_oplog() noexcept;
+void set_default_replay_oplog(const std::string& path);
+[[nodiscard]] const std::string& default_replay_oplog() noexcept;
+
+}  // namespace wtc::experiments

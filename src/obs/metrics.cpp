@@ -62,6 +62,13 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "audit.cycles_deferred",
     "db.shard_routed",
     "db.cross_shard_links",
+    "oplog.recorded",
+    "oplog.bytes",
+    "oplog.compactions",
+    "replay.chains",
+    "replay.deduped",
+    "replay.exec_ops",
+    "replay.mismatches",
 };
 
 constexpr std::array<std::string_view, kGaugeCount> kGaugeNames = {

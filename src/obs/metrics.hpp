@@ -93,6 +93,13 @@ enum class Counter : std::uint16_t {
   audit_cycles_deferred,
   db_shard_routed,
   db_cross_shard_links,
+  oplog_recorded,
+  oplog_bytes,
+  oplog_compactions,
+  replay_chains,
+  replay_deduped,
+  replay_exec_ops,
+  replay_mismatches,
   kCount,
 };
 

@@ -67,6 +67,10 @@ TEST(FuzzRegressions, IpcFrame) {
              wtc::fuzz::fuzz_ipc_frame);
 }
 
+TEST(FuzzRegressions, OpLog) {
+  replay_dir(kCorpusRoot / "regressions" / "oplog", wtc::fuzz::fuzz_oplog);
+}
+
 // The seed corpora are part of the acceptance surface: every documented
 // harness invariant must hold on every seed, in every build.
 TEST(FuzzSeedCorpus, RegionImage) {
@@ -84,11 +88,16 @@ TEST(FuzzSeedCorpus, IpcFrame) {
             2u);
 }
 
+TEST(FuzzSeedCorpus, OpLog) {
+  EXPECT_GE(replay_dir(kCorpusRoot / "oplog", wtc::fuzz::fuzz_oplog), 3u);
+}
+
 // The empty input is every fuzzer's first probe; it must be boring.
 TEST(FuzzHarness, EmptyInputIsClean) {
   EXPECT_EQ(wtc::fuzz::fuzz_region_image(nullptr, 0), 0);
   EXPECT_EQ(wtc::fuzz::fuzz_minivm(nullptr, 0), 0);
   EXPECT_EQ(wtc::fuzz::fuzz_ipc_frame(nullptr, 0), 0);
+  EXPECT_EQ(wtc::fuzz::fuzz_oplog(nullptr, 0), 0);
 }
 
 }  // namespace

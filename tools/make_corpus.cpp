@@ -1,7 +1,7 @@
 // Seed-corpus generator for the fuzz harnesses (fuzz/).
 //
 // Writes small, grammar-valid seed inputs for each target into
-// <out_dir>/{region_image,minivm,ipc_frame}/, plus the regression inputs
+// <out_dir>/{region_image,minivm,ipc_frame,oplog}/, plus the regression inputs
 // under <out_dir>/regressions/<target>/ that pin each hardening fix the
 // fuzz work forced (inputs that crashed — or violated a harness
 // invariant — before the fix). Everything is a deterministic function of
@@ -20,6 +20,7 @@
 #include "db/api.hpp"
 #include "db/controller_schema.hpp"
 #include "db/disk.hpp"
+#include "db/run_op_log.hpp"
 #include "fuzz/harness.hpp"
 #include "vm/program.hpp"
 
@@ -150,6 +151,53 @@ bool ipc_seeds(const std::filesystem::path& dir) {
   return write_file(dir / "seed-reorder", reorder);
 }
 
+/// A small but structurally rich capture on the harness schema: two
+/// identical call cycles plus one distinct one, so the dedup grouping in
+/// the replay auditor sees duplicate AND unique chains, and mutations of
+/// the seed land inside real lifecycle segments.
+std::vector<std::uint8_t> oplog_capture() {
+  using namespace wtc;
+  auto db = db::make_controller_database(fuzz::harness_schema_params());
+  const db::ControllerIds ids = db::resolve_controller_ids(db->schema());
+  sim::Time now = 0;
+  db::RunOpLog oplog;
+  db::DbApi api(*db, [&now]() { return now; });
+  api.set_audit_hooks(&oplog);
+  api.init(1);
+  for (int call = 0; call < 3; ++call) {
+    now += 10;
+    db::RecordIndex p = 0, c = 0;
+    (void)api.alloc_rec(ids.process, db::kGroupActiveCalls, p);
+    (void)api.alloc_rec(ids.connection, db::kGroupActiveCalls, c);
+    (void)api.write_fld(ids.process, p, ids.p_process_id, db::key_of(p));
+    (void)api.write_fld(ids.process, p, ids.p_connection_id, db::key_of(c));
+    (void)api.write_fld(ids.connection, c, ids.c_connection_id, db::key_of(c));
+    // The third call differs (distinct codec), the first two dedup.
+    (void)api.write_fld(ids.connection, c, ids.c_codec, call == 2 ? 7 : 1);
+    (void)api.move_rec(ids.connection, c, db::kGroupStableCalls);
+    (void)api.free_rec(ids.connection, c);
+    (void)api.free_rec(ids.process, p);
+  }
+  (void)api.close();
+  return oplog.serialize();
+}
+
+bool oplog_seeds(const std::filesystem::path& dir) {
+  using namespace wtc;
+  const std::vector<std::uint8_t> capture = oplog_capture();
+  if (!write_file(dir / "seed-capture", capture)) return false;
+
+  // Header-only log: the smallest accepted input.
+  std::vector<std::uint8_t> header(capture.begin(), capture.begin() + 8);
+  if (!write_file(dir / "seed-empty", header)) return false;
+
+  // A CRC-violating capture: last payload byte flipped — the canonical
+  // rejected input, one mutation away from the accepted one.
+  std::vector<std::uint8_t> rejected = capture;
+  rejected.back() ^= 0xFFu;
+  return write_file(dir / "seed-rejected", rejected);
+}
+
 bool regression_inputs(const std::filesystem::path& dir) {
   using namespace wtc;
   auto db = db::make_controller_database(fuzz::harness_schema_params());
@@ -190,7 +238,17 @@ bool regression_inputs(const std::filesystem::path& dir) {
 
   // Hardened path: a zero-arg data frame must be dropped as malformed,
   // not indexed for its framing words.
-  return write_file(dir / "ipc_frame" / "fix-truncated-frame", {1, 0, 0});
+  if (!write_file(dir / "ipc_frame" / "fix-truncated-frame", {1, 0, 0})) {
+    return false;
+  }
+
+  // Hardened path: a CRC-valid chunk whose event_count claims more events
+  // than its payload holds must come back Truncated — the decoder stops at
+  // the payload boundary instead of reading past it. (event_count lives at
+  // byte 12 of the first chunk frame: header 8 + payload_len 4.)
+  std::vector<std::uint8_t> overcount = oplog_capture();
+  overcount[12] = static_cast<std::uint8_t>(overcount[12] + 1);
+  return write_file(dir / "oplog" / "fix-event-overcount", overcount);
 }
 
 }  // namespace
@@ -202,9 +260,9 @@ int main(int argc, char** argv) {
   }
   const std::filesystem::path root = argv[1];
   std::error_code ec;
-  for (const char* sub : {"region_image", "minivm", "ipc_frame",
+  for (const char* sub : {"region_image", "minivm", "ipc_frame", "oplog",
                           "regressions/region_image", "regressions/minivm",
-                          "regressions/ipc_frame"}) {
+                          "regressions/ipc_frame", "regressions/oplog"}) {
     std::filesystem::create_directories(root / sub, ec);
     if (ec) {
       std::fprintf(stderr, "cannot create %s: %s\n", (root / sub).string().c_str(),
@@ -213,7 +271,8 @@ int main(int argc, char** argv) {
     }
   }
   if (!region_seeds(root / "region_image") || !minivm_seeds(root / "minivm") ||
-      !ipc_seeds(root / "ipc_frame") || !regression_inputs(root / "regressions")) {
+      !ipc_seeds(root / "ipc_frame") || !oplog_seeds(root / "oplog") ||
+      !regression_inputs(root / "regressions")) {
     return 1;
   }
   std::printf("corpus written under %s\n", root.string().c_str());

@@ -1,0 +1,196 @@
+// make_workloads — generates the checked-in replay workload captures
+// under workloads/ (consumed by --replay-oplog and the A16 ablation).
+//
+// Each workload is produced by really executing the ops through DbApi
+// against a pristine default controller database with a RunOpLog tee
+// installed, so every capture is valid by construction: replaying it
+// against a fresh controller database (the zero-simulation engine's
+// starting point) reproduces the generator's final region byte-for-byte,
+// and DBalloc indices match because allocation deterministically picks
+// the lowest free index.
+//
+//   make_workloads [out_dir]        (default: workloads)
+//
+// Workloads:
+//   handoff_storm.oplog           back-to-back call setup/handoff/release
+//                                 cycles with a small value alphabet —
+//                                 the high duplicate-chain-ratio capture
+//                                 the dedup gate of A16 runs on
+//   registration_avalanche.oplog  waves of subscriber (re)registrations:
+//                                 alloc-heavy, release-light until the
+//                                 table saturates, then bulk expiry
+//   diurnal_load.oplog            triangle-wave intensity over a model
+//                                 day (integer ramp, no float in the
+//                                 generator, so bytes are reproducible)
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/rng.hpp"
+#include "db/api.hpp"
+#include "db/controller_schema.hpp"
+#include "db/run_op_log.hpp"
+
+using namespace wtc;
+
+namespace {
+
+/// One generator run: pristine controller DB + RunOpLog tee + a single
+/// recorded client (the replay-validity precondition documented in
+/// audit/replay.hpp).
+struct Capture {
+  std::unique_ptr<db::Database> database;
+  db::ControllerIds ids;
+  db::RunOpLog oplog;
+  sim::Time now = 0;
+  db::DbApi api;
+
+  Capture()
+      : database(db::make_controller_database()),
+        ids(db::resolve_controller_ids(database->schema())),
+        api(*database, [this]() { return now; }) {
+    api.set_audit_hooks(&oplog);
+    api.init(1);
+  }
+
+  void tick(sim::Time step = static_cast<sim::Time>(sim::kMillisecond)) {
+    now += step;
+  }
+
+  bool save(const std::filesystem::path& path) {
+    api.close();
+    if (!oplog.save(path.string())) {
+      std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+      return false;
+    }
+    std::printf("%s: %llu events\n", path.string().c_str(),
+                static_cast<unsigned long long>(oplog.recorded()));
+    return true;
+  }
+};
+
+/// One full call lifecycle: allocate the Process/Connection/Resource
+/// triple, wire the semantic loop, hand off (DBmove to stable and back),
+/// release. Values come from a small alphabet so distinct calls produce
+/// byte-identical op chains — the duplicate-chain population the replay
+/// audit deduplicates.
+void one_call(Capture& c, std::uint32_t codec, std::uint32_t area,
+              std::uint32_t handoffs) {
+  db::RecordIndex p = 0, conn = 0, r = 0;
+  if (c.api.alloc_rec(c.ids.process, db::kGroupActiveCalls, p) !=
+          db::Status::Ok ||
+      c.api.alloc_rec(c.ids.connection, db::kGroupActiveCalls, conn) !=
+          db::Status::Ok ||
+      c.api.alloc_rec(c.ids.resource, db::kGroupActiveCalls, r) !=
+          db::Status::Ok) {
+    return;  // table full; workload intensity is sized to avoid this
+  }
+  c.tick();
+  c.api.write_fld(c.ids.process, p, c.ids.p_process_id, db::key_of(p));
+  c.api.write_fld(c.ids.process, p, c.ids.p_connection_id, db::key_of(conn));
+  c.api.write_fld(c.ids.process, p, c.ids.p_location_area,
+                  static_cast<std::int32_t>(area));
+  c.api.write_fld(c.ids.connection, conn, c.ids.c_connection_id,
+                  db::key_of(conn));
+  c.api.write_fld(c.ids.connection, conn, c.ids.c_channel_id, db::key_of(r));
+  c.api.write_fld(c.ids.connection, conn, c.ids.c_codec,
+                  static_cast<std::int32_t>(codec));
+  c.api.write_fld(c.ids.resource, r, c.ids.r_channel_id, db::key_of(r));
+  c.api.write_fld(c.ids.resource, r, c.ids.r_process_id, db::key_of(p));
+  c.tick();
+  for (std::uint32_t h = 0; h < handoffs; ++h) {
+    c.api.write_fld(c.ids.process, p, c.ids.p_handoff_count,
+                    static_cast<std::int32_t>(h + 1));
+    c.api.move_rec(c.ids.process, p, db::kGroupStableCalls);
+    c.tick();
+    c.api.move_rec(c.ids.process, p, db::kGroupActiveCalls);
+    c.tick();
+  }
+  c.api.free_rec(c.ids.resource, r);
+  c.api.free_rec(c.ids.connection, conn);
+  c.api.free_rec(c.ids.process, p);
+  c.tick();
+}
+
+bool handoff_storm(const std::filesystem::path& path) {
+  Capture c;
+  common::Rng rng(0x48414E44u);  // 'HAND'
+  for (int call = 0; call < 600; ++call) {
+    // 4 codecs x 3 areas x 3 handoff counts = at most 36 distinct call
+    // shapes over 600 calls: > 90% of the chains repeat.
+    one_call(c, static_cast<std::uint32_t>(rng.uniform(4)),
+             static_cast<std::uint32_t>(rng.uniform(3)),
+             1 + static_cast<std::uint32_t>(rng.uniform(3)));
+  }
+  return c.save(path);
+}
+
+bool registration_avalanche(const std::filesystem::path& path) {
+  Capture c;
+  common::Rng rng(0x52454749u);  // 'REGI'
+  const db::RecordIndex capacity =
+      c.database->schema().tables[c.ids.process].num_records;
+  std::vector<db::RecordIndex> registered;
+  for (int wave = 0; wave < 12; ++wave) {
+    // Allocation-heavy wave: registrations arrive much faster than they
+    // expire, saturating the table.
+    for (int i = 0; i < 40 && registered.size() + 4 < capacity; ++i) {
+      db::RecordIndex p = 0;
+      if (c.api.alloc_rec(c.ids.process, db::kGroupActiveCalls, p) !=
+          db::Status::Ok) {
+        break;
+      }
+      c.api.write_fld(c.ids.process, p, c.ids.p_process_id, db::key_of(p));
+      c.api.write_fld(c.ids.process, p, c.ids.p_location_area,
+                      static_cast<std::int32_t>(rng.uniform(8)));
+      c.api.write_fld(c.ids.process, p, c.ids.p_status, 1);
+      registered.push_back(p);
+      c.tick();
+    }
+    // Light expiry between waves, bulk expiry at the end.
+    const std::size_t expire =
+        wave + 1 < 12 ? registered.size() / 8 : registered.size();
+    for (std::size_t i = 0; i < expire; ++i) {
+      c.api.free_rec(c.ids.process, registered.back());
+      registered.pop_back();
+      c.tick();
+    }
+  }
+  return c.save(path);
+}
+
+bool diurnal_load(const std::filesystem::path& path) {
+  Capture c;
+  common::Rng rng(0x44495552u);  // 'DIUR'
+  // 24 model hours; per-hour call count follows an integer triangle wave
+  // (night trough 2, evening peak 26).
+  for (int hour = 0; hour < 24; ++hour) {
+    const int phase = hour <= 12 ? hour : 24 - hour;
+    const int calls = 2 + 2 * phase;
+    for (int i = 0; i < calls; ++i) {
+      one_call(c, static_cast<std::uint32_t>(rng.uniform(8)),
+               static_cast<std::uint32_t>(rng.uniform(16)),
+               static_cast<std::uint32_t>(rng.uniform(2)));
+    }
+    c.tick(static_cast<sim::Time>(sim::kSecond));
+  }
+  return c.save(path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path out = argc > 1 ? argv[1] : "workloads";
+  std::error_code ec;
+  std::filesystem::create_directories(out, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out.string().c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  bool ok = handoff_storm(out / "handoff_storm.oplog");
+  ok = registration_avalanche(out / "registration_avalanche.oplog") && ok;
+  ok = diurnal_load(out / "diurnal_load.oplog") && ok;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,245 @@
+// oplog_inspect — offline inspection of whole-run op-log captures
+// (--record-oplog output, workloads/*.oplog).
+//
+// Decodes the log through the same trust-boundary reader the replay
+// consumers use (db/run_op_log.hpp), then summarizes: event and byte
+// counts, per-op / per-thread / per-table breakdowns, and the
+// chain-dedup ratio the replay audit's deduplicated re-execution will
+// see — per-(table,record) op chains hashed the record-agnostic way
+// (start-state-independent for alloc-first chains), so the ratio printed
+// here predicts the `replay.deduped / replay.chains` counters.
+//
+//   oplog_inspect <log>            text summary
+//   oplog_inspect --json <log>     JSON (for CI artifact diffing)
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/table_printer.hpp"
+#include "db/run_op_log.hpp"
+
+using namespace wtc;
+
+namespace {
+
+const char* op_name(db::ApiOp op) {
+  switch (op) {
+    case db::ApiOp::Init: return "DBinit";
+    case db::ApiOp::Close: return "DBclose";
+    case db::ApiOp::ReadRec: return "DBread";
+    case db::ApiOp::ReadFld: return "DBreadfield";
+    case db::ApiOp::WriteRec: return "DBwrite";
+    case db::ApiOp::WriteFld: return "DBwritefield";
+    case db::ApiOp::Move: return "DBmove";
+    case db::ApiOp::Alloc: return "DBalloc";
+    case db::ApiOp::Free: return "DBfree";
+    case db::ApiOp::TxnBegin: return "DBtxnbegin";
+    case db::ApiOp::TxnEnd: return "DBtxnend";
+  }
+  return "?";
+}
+
+bool replayable(const db::ApiEvent& event) {
+  if (!event.is_update || event.status != db::Status::Ok) {
+    return false;
+  }
+  switch (event.op) {
+    case db::ApiOp::WriteRec:
+    case db::ApiOp::WriteFld:
+    case db::ApiOp::Move:
+    case db::ApiOp::Alloc:
+    case db::ApiOp::Free:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Chain signature matching audit::ReplayAuditor's record-agnostic case:
+/// table + the op sequence (op, group, field, payload). The auditor also
+/// mixes the pristine start state for chains that do not begin with
+/// DBalloc; this tool has no region, so for those chains it mixes the
+/// record index instead (start states of distinct records may still
+/// collide, so the printed ratio is a lower bound on the auditor's).
+std::uint64_t chain_signature(const std::vector<const db::ApiEvent*>& ops) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (i * 8)) & 0xFF;
+      hash *= 0x100000001b3ull;
+    }
+  };
+  mix(ops.front()->table);
+  if (ops.front()->op != db::ApiOp::Alloc) {
+    mix(ops.front()->record);
+  }
+  for (const db::ApiEvent* event : ops) {
+    mix(static_cast<std::uint64_t>(event->op));
+    mix(event->group);
+    mix(event->field);
+    mix(event->payload_len);
+    for (std::uint8_t i = 0; i < event->payload_len; ++i) {
+      mix(static_cast<std::uint64_t>(
+          static_cast<std::uint32_t>(event->payload[i])));
+    }
+  }
+  return hash;
+}
+
+struct Summary {
+  std::size_t events = 0;
+  std::size_t updates = 0;
+  sim::Time first_time = 0;
+  sim::Time last_time = 0;
+  std::map<db::ApiOp, std::size_t> by_op;
+  std::map<std::uint32_t, std::size_t> by_thread;
+  std::map<db::TableId, std::size_t> by_table;
+  std::size_t chains = 0;
+  std::size_t unique_chains = 0;
+};
+
+Summary summarize(const std::vector<db::ApiEvent>& events) {
+  Summary s;
+  s.events = events.size();
+  // Chain grouping mirrors audit::ReplayAuditor: per-(table, record),
+  // segmented at lifecycle boundaries (every DBalloc starts a new chain).
+  std::vector<std::vector<const db::ApiEvent*>> chains;
+  std::map<std::uint64_t, std::size_t> chain_of;
+  for (const db::ApiEvent& event : events) {
+    if (s.by_op.empty()) {
+      s.first_time = event.time;
+    }
+    s.last_time = event.time;
+    ++s.by_op[event.op];
+    ++s.by_thread[event.thread];
+    ++s.by_table[event.table];
+    if (event.is_update) {
+      ++s.updates;
+    }
+    if (replayable(event)) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(event.table) << 32) | event.record;
+      auto it = chain_of.find(key);
+      if (it == chain_of.end() || event.op == db::ApiOp::Alloc) {
+        it = chain_of.insert_or_assign(key, chains.size()).first;
+        chains.emplace_back();
+      }
+      chains[it->second].push_back(&event);
+    }
+  }
+  std::unordered_map<std::uint64_t, std::size_t> unique;
+  for (const auto& ops : chains) {
+    ++s.chains;
+    ++unique[chain_signature(ops)];
+  }
+  s.unique_chains = unique.size();
+  return s;
+}
+
+void print_text(const std::string& path, std::size_t bytes, const Summary& s) {
+  std::printf("op log %s: %zu bytes, %zu events (%zu updates), time %llu..%llu\n",
+              path.c_str(), bytes, s.events, s.updates,
+              static_cast<unsigned long long>(s.first_time),
+              static_cast<unsigned long long>(s.last_time));
+  common::TablePrinter ops({"op", "events"});
+  for (const auto& [op, count] : s.by_op) {
+    ops.add_row({op_name(op), std::to_string(count)});
+  }
+  std::printf("%s", ops.render().c_str());
+  common::TablePrinter threads({"thread", "events"});
+  for (const auto& [thread, count] : s.by_thread) {
+    threads.add_row({std::to_string(thread), std::to_string(count)});
+  }
+  std::printf("%s", threads.render().c_str());
+  common::TablePrinter tables({"table", "events"});
+  for (const auto& [table, count] : s.by_table) {
+    tables.add_row({std::to_string(table), std::to_string(count)});
+  }
+  std::printf("%s", tables.render().c_str());
+  const double ratio =
+      s.chains == 0 ? 0.0
+                    : static_cast<double>(s.chains - s.unique_chains) /
+                          static_cast<double>(s.chains);
+  std::printf(
+      "replay chains: %zu (%zu unique, duplicate ratio %.1f%% — the replay "
+      "audit executes only the unique ones)\n",
+      s.chains, s.unique_chains, 100.0 * ratio);
+}
+
+void print_json(const std::string& path, std::size_t bytes, const Summary& s) {
+  std::printf("{\n  \"file\": \"%s\",\n  \"bytes\": %zu,\n", path.c_str(),
+              bytes);
+  std::printf("  \"events\": %zu,\n  \"updates\": %zu,\n", s.events, s.updates);
+  std::printf("  \"first_time\": %llu,\n  \"last_time\": %llu,\n",
+              static_cast<unsigned long long>(s.first_time),
+              static_cast<unsigned long long>(s.last_time));
+  const auto map_json = [](const char* key, const auto& counts,
+                           const auto& name_of) {
+    std::printf("  \"%s\": {", key);
+    bool first = true;
+    for (const auto& [k, count] : counts) {
+      std::printf("%s\"%s\": %zu", first ? "" : ", ", name_of(k).c_str(),
+                  count);
+      first = false;
+    }
+    std::printf("},\n");
+  };
+  map_json("by_op", s.by_op,
+           [](db::ApiOp op) { return std::string(op_name(op)); });
+  map_json("by_thread", s.by_thread,
+           [](std::uint32_t thread) { return std::to_string(thread); });
+  map_json("by_table", s.by_table,
+           [](db::TableId table) { return std::to_string(table); });
+  const double ratio =
+      s.chains == 0 ? 0.0
+                    : static_cast<double>(s.chains - s.unique_chains) /
+                          static_cast<double>(s.chains);
+  std::printf("  \"chains\": %zu,\n  \"unique_chains\": %zu,\n", s.chains,
+              s.unique_chains);
+  std::printf("  \"duplicate_ratio\": %.4f\n}\n", ratio);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json] <oplog-file>\n", argv[0]);
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s [--json] <oplog-file>\n", argv[0]);
+    return 2;
+  }
+  const db::OpLogReadResult log = db::load_op_log(path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "error: %s: %s at byte %zu\n", path,
+                 std::string(db::to_string(log.error)).c_str(),
+                 log.error_offset);
+    return 1;
+  }
+  std::size_t bytes = 0;
+  if (std::FILE* file = std::fopen(path, "rb")) {
+    std::fseek(file, 0, SEEK_END);
+    bytes = static_cast<std::size_t>(std::ftell(file));
+    std::fclose(file);
+  }
+  const Summary s = summarize(log.events);
+  if (json) {
+    print_json(path, bytes, s);
+  } else {
+    print_text(path, bytes, s);
+  }
+  return 0;
+}
